@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.h"
+#include "core/circuit_driver.h"
+
+namespace step::bench {
+
+/// Budgets scaled to the suite size (the paper: 6000 s per circuit, 4 s per
+/// QBF call on a 2.93 GHz Xeon; our suite is ~100x smaller).
+struct BenchBudgets {
+  double circuit_s = 20.0;
+  double po_s = 2.0;
+  double qbf_call_s = 0.25;
+};
+
+inline BenchBudgets budgets_for(benchgen::SuiteScale scale) {
+  switch (scale) {
+    case benchgen::SuiteScale::kTiny: return {5.0, 1.0, 0.25};
+    case benchgen::SuiteScale::kSmall: return {20.0, 2.0, 0.25};
+    case benchgen::SuiteScale::kFull: return {120.0, 6.0, 1.0};
+  }
+  return {};
+}
+
+inline core::DecomposeOptions engine_options(core::Engine engine,
+                                             core::GateOp op,
+                                             const BenchBudgets& b) {
+  core::DecomposeOptions o;
+  o.engine = engine;
+  o.op = op;
+  o.po_budget_s = b.po_s;
+  o.optimum.call_timeout_s = b.qbf_call_s;
+  // Benches time the partition search; extraction/verification are
+  // exercised by the test suite and the examples.
+  o.extract = false;
+  o.verify = false;
+  return o;
+}
+
+/// One engine across the whole suite.
+inline std::vector<core::CircuitRunResult> run_suite(
+    const std::vector<benchgen::BenchCircuit>& suite, core::Engine engine,
+    core::GateOp op, const BenchBudgets& b) {
+  std::vector<core::CircuitRunResult> out;
+  out.reserve(suite.size());
+  for (const benchgen::BenchCircuit& c : suite) {
+    out.push_back(core::run_circuit(
+        c.aig, c.name, engine_options(engine, op, b), b.circuit_s));
+  }
+  return out;
+}
+
+inline const char* scale_name(benchgen::SuiteScale s) {
+  switch (s) {
+    case benchgen::SuiteScale::kTiny: return "tiny";
+    case benchgen::SuiteScale::kSmall: return "small";
+    case benchgen::SuiteScale::kFull: return "full";
+  }
+  return "?";
+}
+
+inline void print_preamble(const char* what, benchgen::SuiteScale scale) {
+  std::printf("# %s\n", what);
+  std::printf("# suite scale: %s (STEP_BENCH_SCALE=tiny|small|full)\n",
+              scale_name(scale));
+  std::printf(
+      "# substitution note: generator suite stands in for ISCAS/ITC/LGSYNTH"
+      " (DESIGN.md par.4)\n");
+}
+
+}  // namespace step::bench

@@ -1,0 +1,55 @@
+// Reproduces Figure 1: "CPU time comparison between models for all
+// circuits" — six log-log scatter plots (LJH vs QD/QB/QDB on top,
+// STEP-MG vs QD/QB/QDB below). This harness emits the underlying series
+// as CSV (one row per circuit) plus a summary of which side of the
+// diagonal each point falls on, which is the figure's takeaway:
+// Q* points sit below the diagonal against LJH (faster) and above it
+// against MG (slower).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace step;
+  using core::Engine;
+
+  const auto scale = benchgen::scale_from_env();
+  const auto suite = benchgen::standard_suite(scale);
+  const auto budgets = bench::budgets_for(scale);
+  bench::print_preamble("Figure 1: per-circuit CPU time scatter data", scale);
+
+  const Engine engines[] = {Engine::kLjh, Engine::kMg, Engine::kQbfDisjoint,
+                            Engine::kQbfBalanced, Engine::kQbfCombined};
+  std::printf("circuit,ljh_s,mg_s,qd_s,qb_s,qdb_s\n");
+
+  int below_vs_ljh[3] = {};  // Q* faster than LJH
+  int above_vs_mg[3] = {};   // Q* slower than MG
+  int n_circ = 0;
+  for (const benchgen::BenchCircuit& c : suite) {
+    double t[5];
+    for (int e = 0; e < 5; ++e) {
+      t[e] = bench::run_suite({c}, engines[e], core::GateOp::kOr, budgets)[0]
+                 .total_cpu_s;
+    }
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.4f\n", c.name.c_str(), t[0], t[1],
+                t[2], t[3], t[4]);
+    std::fflush(stdout);
+    for (int q = 0; q < 3; ++q) {
+      if (t[2 + q] < t[0]) ++below_vs_ljh[q];
+      if (t[2 + q] > t[1]) ++above_vs_mg[q];
+    }
+    ++n_circ;
+  }
+
+  const char* names[3] = {"STEP-QD", "STEP-QB", "STEP-QDB"};
+  for (int q = 0; q < 3; ++q) {
+    std::printf("# %s faster than LJH on %d/%d circuits;"
+                " slower than STEP-MG on %d/%d\n",
+                names[q], below_vs_ljh[q], n_circ, above_vs_mg[q], n_circ);
+  }
+  std::printf(
+      "# shape check (paper): Q* clusters below the diagonal vs LJH and"
+      " above it vs STEP-MG\n");
+  return 0;
+}

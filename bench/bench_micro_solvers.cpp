@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the substrate solvers: SAT
+// solving, 2QBF CEGAR, group-MUS, interpolation and AIG manipulation.
+// Not part of the paper's tables; tracks the health of the engines that
+// power them.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generators.h"
+#include "cnf/cnf.h"
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "core/decomposer.h"
+#include "core/relaxation.h"
+#include "itp/interpolant.h"
+#include "mus/group_mus.h"
+#include "qbf/qbf2.h"
+#include "sat/solver.h"
+
+namespace {
+
+using namespace step;
+
+void bm_sat_random3cnf(benchmark::State& state) {
+  const int nv = static_cast<int>(state.range(0));
+  const int nc = static_cast<int>(nv * 4.1);
+  Rng rng(12345);
+  for (auto _ : state) {
+    sat::Solver s;
+    for (int i = 0; i < nv; ++i) s.new_var();
+    for (int c = 0; c < nc; ++c) {
+      sat::LitVec cl;
+      for (int j = 0; j < 3; ++j) {
+        cl.push_back(sat::mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+      }
+      s.add_clause(cl);
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(bm_sat_random3cnf)->Arg(50)->Arg(100)->Arg(200);
+
+void bm_sat_pigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> p(holes + 1,
+                                         std::vector<sat::Var>(holes));
+    for (auto& row : p) {
+      for (auto& v : row) v = s.new_var();
+    }
+    for (auto& row : p) {
+      sat::LitVec c;
+      for (auto v : row) c.push_back(sat::mk_lit(v));
+      s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int i = 0; i <= holes; ++i) {
+        for (int j = i + 1; j <= holes; ++j) {
+          s.add_clause({~sat::mk_lit(p[i][h]), ~sat::mk_lit(p[j][h])});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(bm_sat_pigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void bm_qbf_partition_query(benchmark::State& state) {
+  // One QD bound query on a mux-tree cone (the paper's inner loop).
+  const int sel = static_cast<int>(state.range(0));
+  const aig::Aig circ = benchgen::mux_tree(sel);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  const core::RelaxationMatrix m =
+      core::build_relaxation_matrix(cone, core::GateOp::kOr);
+  for (auto _ : state) {
+    core::QbfPartitionFinder finder(m);
+    benchmark::DoNotOptimize(
+        finder.find_with_bound(core::QbfModel::kQD, sel));
+  }
+}
+BENCHMARK(bm_qbf_partition_query)->Arg(2)->Arg(3);
+
+void bm_mus_equivalence_groups(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const aig::Aig circ = benchgen::random_sop(n, n, 2, 1, 5, 777);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  const core::RelaxationMatrix m =
+      core::build_relaxation_matrix(cone, core::GateOp::kOr);
+  for (auto _ : state) {
+    core::RelaxationSolver rs(m);
+    core::MgDecomposer mg(rs);
+    benchmark::DoNotOptimize(mg.find_partition());
+  }
+}
+BENCHMARK(bm_mus_equivalence_groups)->Arg(4)->Arg(6);
+
+void bm_interpolation_extract(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const aig::Aig circ = benchgen::random_sop(n, n, 1, 1, 4, 4242);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  core::DecomposeOptions o;
+  o.engine = core::Engine::kMg;
+  const core::BiDecomposer dec(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decompose(cone));
+  }
+}
+BENCHMARK(bm_interpolation_extract)->Arg(3)->Arg(5);
+
+void bm_aig_strash(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(benchgen::random_dag(16, gates, 8, 99));
+  }
+}
+BENCHMARK(bm_aig_strash)->Arg(1000)->Arg(10000);
+
+void bm_tseitin_encode(benchmark::State& state) {
+  const aig::Aig mult = benchgen::array_multiplier(static_cast<int>(state.range(0)));
+  const core::Cone cone =
+      core::extract_po_cone(mult, mult.num_outputs() - 2);
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<sat::Lit> in(cone.aig.num_inputs());
+    for (auto& l : in) l = sat::mk_lit(s.new_var());
+    cnf::SolverSink sink(s);
+    benchmark::DoNotOptimize(cnf::encode_cone(cone.aig, cone.root, in, sink));
+  }
+}
+BENCHMARK(bm_tseitin_encode)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

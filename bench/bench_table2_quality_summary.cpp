@@ -1,0 +1,66 @@
+// Reproduces Table II: "Comparison of quality metrics between all models" —
+// suite-wide aggregation of better% / equal% for
+//   OR:  LJH vs STEP-{QD,QB,QDB}  and  STEP-MG vs STEP-{QD,QB,QDB}
+//   AND: STEP-MG vs STEP-{QD,QB,QDB}
+//   XOR: STEP-MG vs STEP-{QD,QB,QDB}
+// (LJH appears for OR only: the paper's footnote 1 — Bi-dec does not
+// implement AND/XOR.)
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace step;
+  using core::Engine;
+  using core::GateOp;
+  using core::MetricKind;
+
+  const auto scale = benchgen::scale_from_env();
+  const auto suite = benchgen::standard_suite(scale);
+  const auto budgets = bench::budgets_for(scale);
+  bench::print_preamble("Table II: quality metrics between all models", scale);
+
+  struct Challenger {
+    Engine engine;
+    MetricKind kind;
+    const char* label;
+  };
+  const Challenger ch[3] = {
+      {Engine::kQbfDisjoint, MetricKind::kDisjointness, "STEP-QD"},
+      {Engine::kQbfBalanced, MetricKind::kBalancedness, "STEP-QB"},
+      {Engine::kQbfCombined, MetricKind::kSum, "STEP-QDB"},
+  };
+
+  auto aggregate = [&](GateOp op, Engine base_engine, const char* base_label) {
+    const auto base = bench::run_suite(suite, base_engine, op, budgets);
+    for (const auto& c : ch) {
+      const auto challenger = bench::run_suite(suite, c.engine, op, budgets);
+      long better = 0, equal = 0, considered = 0;
+      for (std::size_t i = 0; i < suite.size(); ++i) {
+        const core::QualityComparison cmp =
+            core::compare_quality(base[i], challenger[i], c.kind);
+        better += cmp.challenger_better;
+        equal += cmp.equal;
+        considered += cmp.considered;
+      }
+      const double bp = considered ? 100.0 * better / considered : 0.0;
+      const double ep = considered ? 100.0 * equal / considered : 0.0;
+      std::printf("%-4s %-8s vs %-9s | %s better: %6.2f%%  equal: %6.2f%%"
+                  "  (POs compared: %ld)\n",
+                  core::to_string(op), base_label, c.label, c.label, bp, ep,
+                  considered);
+      std::fflush(stdout);
+    }
+  };
+
+  aggregate(GateOp::kOr, Engine::kLjh, "LJH");
+  aggregate(GateOp::kOr, Engine::kMg, "STEP-MG");
+  aggregate(GateOp::kAnd, Engine::kMg, "STEP-MG");
+  aggregate(GateOp::kXor, Engine::kMg, "STEP-MG");
+
+  std::printf(
+      "# shape check (paper): QB-better%% > QDB-better%% > QD-better%%"
+      " against both baselines, for every op\n");
+  return 0;
+}

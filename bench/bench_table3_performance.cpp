@@ -1,0 +1,60 @@
+// Reproduces Table III: "Performance data for OR bi-decomposition" —
+// #Dec (functions decomposed) and CPU seconds per circuit for
+// LJH, STEP-MG and STEP-{QD,QB,QDB}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace step;
+  using core::Engine;
+
+  const auto scale = benchgen::scale_from_env();
+  const auto suite = benchgen::standard_suite(scale);
+  const auto budgets = bench::budgets_for(scale);
+  bench::print_preamble("Table III: performance data for OR bi-decomposition",
+                        scale);
+
+  const Engine engines[] = {Engine::kLjh, Engine::kMg, Engine::kQbfDisjoint,
+                            Engine::kQbfBalanced, Engine::kQbfCombined};
+
+  std::printf("%-10s %-10s %5s %5s |", "Circuit", "(standin)", "#In", "#InM");
+  for (Engine e : engines) {
+    std::printf(" %8s %9s |", core::to_string(e), "CPU(s)");
+  }
+  std::printf("\n");
+
+  double totals[5] = {};
+  int dec_totals[5] = {};
+  for (const benchgen::BenchCircuit& c : suite) {
+    std::printf("%-10s %-10s %5u", c.name.c_str(), c.standin_for.c_str(),
+                c.aig.num_inputs());
+    bool first = true;
+    for (int e = 0; e < 5; ++e) {
+      const core::CircuitRunResult r = core::run_circuit(
+          c.aig, c.name, bench::engine_options(engines[e], core::GateOp::kOr, budgets),
+          budgets.circuit_s);
+      if (first) {
+        std::printf(" %5d |", r.max_support());
+        first = false;
+      }
+      std::printf(" %4d/%-3zu %9.2f |", r.num_decomposed(), r.pos.size(),
+                  r.total_cpu_s);
+      totals[e] += r.total_cpu_s;
+      dec_totals[e] += r.num_decomposed();
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("%-33s", "TOTAL (#Dec / CPU s)");
+  for (int e = 0; e < 5; ++e) std::printf(" %4d %11.2f |", dec_totals[e], totals[e]);
+  std::printf("\n");
+  std::printf(
+      "# shape check (paper): #Dec(Q*) == #Dec(MG) >= #Dec(LJH);"
+      " CPU: MG < QB < QD < QDB among STEP engines; LJH slowest on most\n"
+      "# circuits (the paper, like us, has QDB overtake LJH on some rows,"
+      " e.g. s38584.1)\n");
+  return 0;
+}

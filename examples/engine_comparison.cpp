@@ -1,0 +1,52 @@
+// Side-by-side engine comparison on one function — Table I in miniature.
+//
+// The subject is a two-level SOP whose cubes straddle two variable groups
+// with a small deliberate overlap: heuristic engines (LJH, STEP-MG) find
+// *some* valid partition, while the QBF engines prove optimum
+// disjointness (QD), balancedness (QB) and combined cost (QDB).
+//
+//   $ ./engine_comparison
+
+#include <cstdio>
+
+#include "benchgen/generators.h"
+#include "core/decomposer.h"
+
+int main() {
+  using namespace step;
+
+  const aig::Aig sop = benchgen::random_sop(/*n_a=*/5, /*n_b=*/5, /*n_c=*/3,
+                                            /*n_out=*/1, /*cubes_per_out=*/6,
+                                            /*seed=*/0xbeef);
+  const core::Cone cone = core::extract_po_cone(sop, 0);
+  std::printf("subject: two-level SOP, support %d\n\n", cone.n());
+
+  const core::Engine engines[] = {
+      core::Engine::kLjh, core::Engine::kMg, core::Engine::kQbfDisjoint,
+      core::Engine::kQbfBalanced, core::Engine::kQbfCombined};
+
+  std::printf("%-10s %-20s %6s %6s %7s %8s %9s %9s\n", "engine", "partition",
+              "|XC|", "|dA-B|", "eD+eB", "optimal", "verified", "cpu(ms)");
+  for (core::Engine e : engines) {
+    core::DecomposeOptions opts;
+    opts.engine = e;
+    opts.op = core::GateOp::kOr;
+    const core::DecomposeResult r = core::BiDecomposer(opts).decompose(cone);
+    if (r.status != core::DecomposeStatus::kDecomposed) {
+      std::printf("%-10s not decomposed\n", core::to_string(e));
+      continue;
+    }
+    std::printf("%-10s %-20s %6d %6d %7.3f %8s %9s %9.2f\n", core::to_string(e),
+                r.partition.to_string().c_str(), r.metrics.shared,
+                r.metrics.imbalance, r.metrics.sum(),
+                r.proven_optimal ? "yes" : "-", r.verified ? "yes" : "no",
+                r.cpu_s * 1e3);
+  }
+
+  std::printf(
+      "\nShape to observe (paper, Tables I-III): the QBF engines never"
+      " report a worse metric than STEP-MG (they are bootstrapped with"
+      " it), QD minimises |XC|, QB minimises the size difference, QDB"
+      " minimises the sum - and the heuristics are faster.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// XOR bi-decomposition on arithmetic: the sum bits of a ripple-carry adder.
+//
+// Each sum bit s_k = a_k ⊕ b_k ⊕ c_k is a textbook XOR-decomposition
+// target (Sasao's AND-OR-EXOR networks motivate the XOR case the paper
+// inherits from [16]). STEP-QDB minimises |XC| + imbalance jointly: for
+// s_k it finds a *disjoint* split (e.g. {a_k, b_k} ⊕ carry logic) with at
+// most one variable of imbalance. (STEP-QB alone would happily share
+// variables to shave the last unit of imbalance — balancedness is its
+// only objective.)
+//
+//   $ ./xor_arith [adder_width]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchgen/generators.h"
+#include "core/decomposer.h"
+
+int main(int argc, char** argv) {
+  using namespace step;
+  const int width = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  const aig::Aig adder = benchgen::ripple_adder(width);
+
+  core::DecomposeOptions opts;
+  opts.op = core::GateOp::kXor;
+  opts.engine = core::Engine::kQbfCombined;  // STEP-QDB: |XC| + imbalance
+  const core::BiDecomposer decomposer(opts);
+
+  std::printf("%-8s %8s %6s %9s %9s %8s %9s\n", "output", "support", "dec?",
+              "|XA|/|XB|", "|XC|", "eB", "optimal");
+  for (std::uint32_t po = 0; po < adder.num_outputs(); ++po) {
+    const core::Cone cone = core::extract_po_cone(adder, po);
+    if (cone.n() < 2) continue;
+    const core::DecomposeResult r = decomposer.decompose(cone);
+    std::printf("%-8s %8d", adder.output_name(po).c_str(), cone.n());
+    if (r.status != core::DecomposeStatus::kDecomposed) {
+      std::printf(" %6s\n", "no");
+      continue;
+    }
+    std::printf(" %6s %5d/%-3d %9d %8.3f %9s\n", "yes", r.partition.num_a(),
+                r.partition.num_b(), r.partition.num_c(),
+                r.metrics.balancedness(), r.proven_optimal ? "yes" : "-");
+  }
+
+  std::printf(
+      "\nEvery sum bit XOR-decomposes with a disjoint, (near-)balanced"
+      " partition; the carry-out does not (it is majority-like).\n");
+  return 0;
+}

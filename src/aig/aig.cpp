@@ -1,0 +1,91 @@
+#include "aig/aig.h"
+
+#include <algorithm>
+
+namespace step::aig {
+
+Lit Aig::add_input(std::string name) {
+  const std::uint32_t node = num_nodes();
+  nodes_.push_back({kLitInvalid, kLitInvalid});
+  input_index_.push_back(static_cast<int>(inputs_.size()));
+  inputs_.push_back(node);
+  if (name.empty()) name = "x" + std::to_string(inputs_.size() - 1);
+  input_names_.push_back(std::move(name));
+  return mk_lit(node);
+}
+
+std::uint32_t Aig::add_output(Lit driver, std::string name) {
+  STEP_CHECK(node_of(driver) < num_nodes());
+  const std::uint32_t idx = num_outputs();
+  outputs_.push_back(driver);
+  if (name.empty()) name = "y" + std::to_string(idx);
+  output_names_.push_back(std::move(name));
+  return idx;
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  STEP_CHECK(node_of(a) < num_nodes() && node_of(b) < num_nodes());
+  // Constant folding and trivial cases.
+  if (a > b) std::swap(a, b);
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lnot(b)) return kLitFalse;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  auto it = strash_.find(key);
+  if (it != strash_.end()) return mk_lit(it->second);
+
+  const std::uint32_t node = num_nodes();
+  nodes_.push_back({a, b});
+  input_index_.push_back(-1);
+  strash_.emplace(key, node);
+  return mk_lit(node);
+}
+
+Lit Aig::land_many(const std::vector<Lit>& ls) {
+  // Balanced tree keeps depth logarithmic.
+  if (ls.empty()) return kLitTrue;
+  std::vector<Lit> cur = ls;
+  while (cur.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      next.push_back(land(cur[i], cur[i + 1]));
+    }
+    if (cur.size() % 2 != 0) next.push_back(cur.back());
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+Lit Aig::lor_many(const std::vector<Lit>& ls) {
+  std::vector<Lit> neg(ls.size());
+  std::transform(ls.begin(), ls.end(), neg.begin(), lnot);
+  return lnot(land_many(neg));
+}
+
+Lit Aig::lxor_many(const std::vector<Lit>& ls) {
+  Lit acc = kLitFalse;
+  for (Lit l : ls) acc = lxor(acc, l);
+  return acc;
+}
+
+std::uint32_t Aig::cone_size(Lit root) const {
+  std::vector<char> visited(num_nodes(), 0);
+  std::vector<std::uint32_t> stack{node_of(root)};
+  std::uint32_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = 1;
+    if (!is_and(n)) continue;
+    ++count;
+    stack.push_back(node_of(nodes_[n].f0));
+    stack.push_back(node_of(nodes_[n].f1));
+  }
+  return count;
+}
+
+}  // namespace step::aig

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace step::aig {
+
+/// Edge literal into the AIG: 2*node + complement bit.
+/// Node 0 is the constant-false node, so lit 0 = false and lit 1 = true.
+using Lit = std::uint32_t;
+constexpr Lit kLitFalse = 0;
+constexpr Lit kLitTrue = 1;
+constexpr Lit kLitInvalid = 0xffffffffU;
+
+constexpr Lit mk_lit(std::uint32_t node, bool complemented = false) {
+  return (node << 1) | static_cast<Lit>(complemented);
+}
+constexpr std::uint32_t node_of(Lit l) { return l >> 1; }
+constexpr bool is_complemented(Lit l) { return (l & 1U) != 0; }
+constexpr Lit lnot(Lit l) { return l ^ 1U; }
+constexpr Lit lit_with_sign(Lit l, bool complemented) {
+  return (l & ~1U) | static_cast<Lit>(complemented);
+}
+
+/// Structurally hashed And-Inverter Graph.
+///
+/// The in-memory circuit representation used everywhere in this library:
+/// PO cones to decompose, QBF matrices, interpolants and the decomposed
+/// sub-functions fA/fB are all AIGs. Construction goes through land()/lor()/
+/// lxor()/lmux(), which constant-fold and structurally hash, so equivalent
+/// sub-DAGs are shared. Node ids are dense and topologically ordered
+/// (fanins precede fanouts), so consumers can sweep nodes with a single
+/// forward loop instead of a DFS when visiting a whole AIG.
+class Aig {
+ public:
+  Aig() {
+    nodes_.push_back({kLitInvalid, kLitInvalid});  // node 0: constant false
+    input_index_.push_back(-1);
+  }
+
+  // ----- construction -------------------------------------------------------
+  /// Creates a primary input; returns its (positive) literal.
+  Lit add_input(std::string name = "");
+
+  /// Registers a primary output driven by `driver`; returns its index.
+  std::uint32_t add_output(Lit driver, std::string name = "");
+
+  /// AND with constant folding and structural hashing.
+  Lit land(Lit a, Lit b);
+  Lit lor(Lit a, Lit b) { return lnot(land(lnot(a), lnot(b))); }
+  Lit lxor(Lit a, Lit b) {
+    return lnot(land(lnot(land(a, lnot(b))), lnot(land(lnot(a), b))));
+  }
+  Lit lxnor(Lit a, Lit b) { return lnot(lxor(a, b)); }
+  /// If-then-else: sel ? t : e.
+  Lit lmux(Lit sel, Lit t, Lit e) {
+    return lnot(land(lnot(land(sel, t)), lnot(land(lnot(sel), e))));
+  }
+  Lit land_many(const std::vector<Lit>& ls);
+  Lit lor_many(const std::vector<Lit>& ls);
+  Lit lxor_many(const std::vector<Lit>& ls);
+
+  // ----- structure ----------------------------------------------------------
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t num_inputs() const { return static_cast<std::uint32_t>(inputs_.size()); }
+  std::uint32_t num_outputs() const { return static_cast<std::uint32_t>(outputs_.size()); }
+  /// Number of AND gates.
+  std::uint32_t num_ands() const { return num_nodes() - num_inputs() - 1; }
+
+  bool is_const(std::uint32_t node) const { return node == 0; }
+  bool is_input(std::uint32_t node) const {
+    return node != 0 && nodes_[node].f0 == kLitInvalid;
+  }
+  bool is_and(std::uint32_t node) const {
+    return node != 0 && nodes_[node].f0 != kLitInvalid;
+  }
+
+  Lit fanin0(std::uint32_t node) const { return nodes_[node].f0; }
+  Lit fanin1(std::uint32_t node) const { return nodes_[node].f1; }
+
+  std::uint32_t input_node(std::uint32_t i) const { return inputs_[i]; }
+  Lit input_lit(std::uint32_t i) const { return mk_lit(inputs_[i]); }
+  /// Input position of `node`, or -1 if it is not an input.
+  int input_index(std::uint32_t node) const { return input_index_[node]; }
+
+  Lit output(std::uint32_t i) const { return outputs_[i]; }
+  void set_output(std::uint32_t i, Lit driver) { outputs_[i] = driver; }
+
+  const std::string& input_name(std::uint32_t i) const { return input_names_[i]; }
+  const std::string& output_name(std::uint32_t i) const { return output_names_[i]; }
+  void set_input_name(std::uint32_t i, std::string name) {
+    input_names_[i] = std::move(name);
+  }
+  void set_output_name(std::uint32_t i, std::string name) {
+    output_names_[i] = std::move(name);
+  }
+
+  /// Linear-time count of AND nodes in the cone of `root`.
+  std::uint32_t cone_size(Lit root) const;
+
+ private:
+  struct Node {
+    Lit f0, f1;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<Lit> outputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+  std::vector<int> input_index_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace step::aig

@@ -1,0 +1,40 @@
+#include "aig/dot.h"
+
+#include <sstream>
+
+namespace step::aig {
+
+std::string to_dot(const Aig& a, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=BT;\n";
+  os << "  n0 [label=\"0\", shape=box, style=dotted];\n";
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (a.is_input(n)) {
+      os << "  n" << n << " [label=\"" << a.input_name(a.input_index(n))
+         << "\", shape=box];\n";
+    } else {
+      os << "  n" << n << " [label=\"&\", shape=circle];\n";
+    }
+  }
+  auto edge = [&](std::uint32_t from, Lit l) {
+    os << "  n" << node_of(l) << " -> n" << from;
+    if (is_complemented(l)) os << " [style=dashed]";
+    os << ";\n";
+  };
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (!a.is_and(n)) continue;
+    edge(n, a.fanin0(n));
+    edge(n, a.fanin1(n));
+  }
+  for (std::uint32_t i = 0; i < a.num_outputs(); ++i) {
+    os << "  o" << i << " [label=\"" << a.output_name(i)
+       << "\", shape=doubleoctagon];\n";
+    os << "  n" << node_of(a.output(i)) << " -> o" << i;
+    if (is_complemented(a.output(i))) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace step::aig

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "aig/aig.h"
+
+namespace step::aig {
+
+/// Graphviz (dot) rendering of an AIG, for debugging and documentation:
+/// inputs as boxes, AND gates as circles, complemented edges dashed,
+/// outputs as double octagons.
+std::string to_dot(const Aig& a, const std::string& graph_name = "aig");
+
+}  // namespace step::aig

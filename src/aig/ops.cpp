@@ -1,0 +1,104 @@
+#include "aig/ops.h"
+
+namespace step::aig {
+
+namespace {
+
+/// Iterative post-order copy shared by the public entry points.
+/// `map_input` returns the dst literal for a src input node.
+template <typename MapInput>
+Lit copy_cone_impl(const Aig& src, Lit root, Aig& dst, MapInput map_input) {
+  std::vector<Lit> memo(src.num_nodes(), kLitInvalid);
+  memo[0] = kLitFalse;
+
+  std::vector<std::uint32_t> stack{node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (memo[n] != kLitInvalid) {
+      stack.pop_back();
+      continue;
+    }
+    if (src.is_input(n)) {
+      memo[n] = map_input(n);
+      STEP_CHECK(memo[n] != kLitInvalid);
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t c0 = node_of(src.fanin0(n));
+    const std::uint32_t c1 = node_of(src.fanin1(n));
+    bool ready = true;
+    if (memo[c0] == kLitInvalid) {
+      stack.push_back(c0);
+      ready = false;
+    }
+    if (memo[c1] == kLitInvalid) {
+      stack.push_back(c1);
+      ready = false;
+    }
+    if (!ready) continue;
+    const Lit f0 = lit_with_sign(memo[c0], is_complemented(src.fanin0(n)) !=
+                                               is_complemented(memo[c0]));
+    const Lit f1 = lit_with_sign(memo[c1], is_complemented(src.fanin1(n)) !=
+                                               is_complemented(memo[c1]));
+    memo[n] = dst.land(f0, f1);
+    stack.pop_back();
+  }
+  const Lit m = memo[node_of(root)];
+  return is_complemented(root) ? lnot(m) : m;
+}
+
+}  // namespace
+
+Lit copy_cone(const Aig& src, Lit root, Aig& dst,
+              const std::vector<Lit>& input_map) {
+  return copy_cone_impl(src, root, dst, [&](std::uint32_t n) {
+    const int idx = src.input_index(n);
+    STEP_CHECK(idx >= 0 && idx < static_cast<int>(input_map.size()));
+    return input_map[idx];
+  });
+}
+
+Lit extract_cone(const Aig& src, Lit root, Aig& dst,
+                 std::vector<std::uint32_t>& used_inputs,
+                 std::vector<Lit>& created_inputs) {
+  // First find the support so inputs are created in src input order.
+  std::vector<char> in_support(src.num_inputs(), 0);
+  std::vector<char> visited(src.num_nodes(), 0);
+  std::vector<std::uint32_t> stack{node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = 1;
+    if (src.is_input(n)) {
+      in_support[src.input_index(n)] = 1;
+    } else if (src.is_and(n)) {
+      stack.push_back(node_of(src.fanin0(n)));
+      stack.push_back(node_of(src.fanin1(n)));
+    }
+  }
+  std::vector<Lit> input_map(src.num_inputs(), kLitInvalid);
+  for (std::uint32_t i = 0; i < src.num_inputs(); ++i) {
+    if (!in_support[i]) continue;
+    used_inputs.push_back(i);
+    const Lit dl = dst.add_input(src.input_name(i));
+    created_inputs.push_back(dl);
+    input_map[i] = dl;
+  }
+  return copy_cone(src, root, dst, input_map);
+}
+
+Lit cofactor(const Aig& src, Lit root, Aig& dst,
+             const std::vector<int>& assignment,
+             const std::vector<Lit>& free_input_map) {
+  return copy_cone_impl(src, root, dst, [&](std::uint32_t n) {
+    const int idx = src.input_index(n);
+    STEP_CHECK(idx >= 0 && idx < static_cast<int>(assignment.size()));
+    if (assignment[idx] == 0) return kLitFalse;
+    if (assignment[idx] == 1) return kLitTrue;
+    STEP_CHECK(idx < static_cast<int>(free_input_map.size()));
+    return free_input_map[idx];
+  });
+}
+
+}  // namespace step::aig

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::aig {
+
+/// Copies the cone of `root` from `src` into `dst`, mapping src input i to
+/// the dst literal `input_map[i]` (which may be a constant — this is how
+/// cofactoring works — or any dst literal — this is how composition works).
+/// Inputs outside the cone need no mapping (kLitInvalid allowed).
+/// Structural hashing in dst folds constants, so cofactored cones shrink.
+Lit copy_cone(const Aig& src, Lit root, Aig& dst,
+              const std::vector<Lit>& input_map);
+
+/// Copies the cone of `root` into `dst`, creating one fresh dst input per
+/// src input the cone actually depends on (in src input order). Appends
+/// created input literals to `created_inputs` aligned with `used_inputs`,
+/// which receives the src input indices.
+Lit extract_cone(const Aig& src, Lit root, Aig& dst,
+                 std::vector<std::uint32_t>& used_inputs,
+                 std::vector<Lit>& created_inputs);
+
+/// Builds in `dst` the XOR (miter) of two functions of the *same* dst
+/// inputs: `a` and `b` are dst literals. SAT(miter) iff a != b somewhere.
+inline Lit miter(Aig& dst, Lit a, Lit b) { return dst.lxor(a, b); }
+
+/// Cofactor of `root` w.r.t. a partial input assignment: `assignment[i]`
+/// is 0 (force false), 1 (force true) or -1 (keep input i free).
+Lit cofactor(const Aig& src, Lit root, Aig& dst,
+             const std::vector<int>& assignment,
+             const std::vector<Lit>& free_input_map);
+
+}  // namespace step::aig

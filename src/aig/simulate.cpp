@@ -1,0 +1,82 @@
+#include "aig/simulate.h"
+
+namespace step::aig {
+
+namespace {
+
+/// Sweeps all nodes once in id order (ids are topologically sorted).
+std::vector<std::uint64_t> sweep(const Aig& a,
+                                 const std::vector<std::uint64_t>& input_words) {
+  STEP_CHECK(input_words.size() == a.num_inputs());
+  std::vector<std::uint64_t> val(a.num_nodes(), 0);
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (a.is_input(n)) {
+      val[n] = input_words[a.input_index(n)];
+    } else {
+      const Lit f0 = a.fanin0(n);
+      const Lit f1 = a.fanin1(n);
+      const std::uint64_t v0 =
+          is_complemented(f0) ? ~val[node_of(f0)] : val[node_of(f0)];
+      const std::uint64_t v1 =
+          is_complemented(f1) ? ~val[node_of(f1)] : val[node_of(f1)];
+      val[n] = v0 & v1;
+    }
+  }
+  return val;
+}
+
+std::uint64_t edge_value(const std::vector<std::uint64_t>& val, Lit l) {
+  return is_complemented(l) ? ~val[node_of(l)] : val[node_of(l)];
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate(const Aig& a,
+                                    const std::vector<std::uint64_t>& input_words) {
+  const std::vector<std::uint64_t> val = sweep(a, input_words);
+  std::vector<std::uint64_t> out(a.num_outputs());
+  for (std::uint32_t i = 0; i < a.num_outputs(); ++i) {
+    out[i] = edge_value(val, a.output(i));
+  }
+  return out;
+}
+
+std::uint64_t simulate_cone(const Aig& a, Lit root,
+                            const std::vector<std::uint64_t>& input_words) {
+  const std::vector<std::uint64_t> val = sweep(a, input_words);
+  return edge_value(val, root);
+}
+
+std::vector<std::uint64_t> truth_table(const Aig& a, Lit root,
+                                       const std::vector<std::uint32_t>& support) {
+  const std::size_t n = support.size();
+  STEP_CHECK(n <= 20);
+  const std::size_t rows = std::size_t{1} << n;
+  const std::size_t words = tt_words(n);
+
+  // The first six support variables follow the canonical word patterns;
+  // the remaining ones alternate per word block.
+  static constexpr std::uint64_t kPattern[6] = {
+      0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+      0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL};
+
+  std::vector<std::uint64_t> table(words, 0);
+  std::vector<std::uint64_t> input_words(a.num_inputs(), 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::uint64_t v;
+      if (j < 6) {
+        v = kPattern[j];
+      } else {
+        v = ((w >> (j - 6)) & 1U) ? ~0ULL : 0ULL;
+      }
+      input_words[support[j]] = v;
+    }
+    table[w] = simulate_cone(a, root, input_words);
+  }
+  // Mask off unused rows for n < 6 so tables compare cleanly.
+  if (n < 6) table[0] &= (rows == 64) ? ~0ULL : ((1ULL << rows) - 1);
+  return table;
+}
+
+}  // namespace step::aig

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::aig {
+
+/// 64-way bit-parallel simulation: `input_words[i]` carries 64 stimulus
+/// bits for input i; returns one word per output.
+std::vector<std::uint64_t> simulate(const Aig& a,
+                                    const std::vector<std::uint64_t>& input_words);
+
+/// Word-level simulation of a single cone.
+std::uint64_t simulate_cone(const Aig& a, Lit root,
+                            const std::vector<std::uint64_t>& input_words);
+
+/// Complete truth table of `root` over the given support inputs
+/// (src input indices); support.size() <= 20. Bit b of the table is the
+/// function value when support input j takes bit j of b.
+/// Packed in 64-bit words, so table[b >> 6] >> (b & 63) & 1 is the value.
+std::vector<std::uint64_t> truth_table(const Aig& a, Lit root,
+                                       const std::vector<std::uint32_t>& support);
+
+/// Number of 64-bit words a truth table over n variables occupies.
+constexpr std::size_t tt_words(std::size_t n_vars) {
+  return n_vars >= 6 ? (std::size_t{1} << (n_vars - 6)) : 1;
+}
+
+/// Reads bit `row` of a packed truth table.
+inline bool tt_bit(const std::vector<std::uint64_t>& tt, std::size_t row) {
+  return ((tt[row >> 6] >> (row & 63)) & 1ULL) != 0;
+}
+
+}  // namespace step::aig

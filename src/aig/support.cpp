@@ -1,0 +1,52 @@
+#include "aig/support.h"
+
+#include <algorithm>
+
+#include "aig/simulate.h"
+
+namespace step::aig {
+
+std::vector<std::uint32_t> structural_support(const Aig& a, Lit root) {
+  std::vector<char> visited(a.num_nodes(), 0);
+  std::vector<char> hit(a.num_inputs(), 0);
+  std::vector<std::uint32_t> stack{node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = 1;
+    if (a.is_input(n)) {
+      hit[a.input_index(n)] = 1;
+    } else if (a.is_and(n)) {
+      stack.push_back(node_of(a.fanin0(n)));
+      stack.push_back(node_of(a.fanin1(n)));
+    }
+  }
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t i = 0; i < a.num_inputs(); ++i) {
+    if (hit[i]) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> functional_support(const Aig& a, Lit root) {
+  const std::vector<std::uint32_t> structural = structural_support(a, root);
+  STEP_CHECK(structural.size() <= 20);
+  const std::vector<std::uint64_t> tt = truth_table(a, root, structural);
+  const std::size_t n = structural.size();
+  const std::size_t rows = std::size_t{1} << n;
+
+  std::vector<std::uint32_t> result;
+  for (std::size_t j = 0; j < n; ++j) {
+    bool depends = false;
+    const std::size_t stride = std::size_t{1} << j;
+    for (std::size_t row = 0; row < rows && !depends; ++row) {
+      if ((row & stride) != 0) continue;  // visit each cofactor pair once
+      if (tt_bit(tt, row) != tt_bit(tt, row | stride)) depends = true;
+    }
+    if (depends) result.push_back(structural[j]);
+  }
+  return result;
+}
+
+}  // namespace step::aig

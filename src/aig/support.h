@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::aig {
+
+/// Input indices (ascending) that the cone of `root` structurally reaches.
+std::vector<std::uint32_t> structural_support(const Aig& a, Lit root);
+
+/// Semantic support over a candidate structural support: input j belongs
+/// iff the two cofactors on j differ. Exact but exponential in support
+/// size, so restricted to supports <= 20; used by tests and by callers
+/// that want tight supports on small cones.
+std::vector<std::uint32_t> functional_support(const Aig& a, Lit root);
+
+}  // namespace step::aig

@@ -1,0 +1,411 @@
+#include "benchgen/generators.h"
+
+#include <string>
+
+#include "aig/ops.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace step::benchgen {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+std::vector<Lit> add_inputs(Aig& a, const char* prefix, int n) {
+  std::vector<Lit> v(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = a.add_input(std::string(prefix) + std::to_string(i));
+  }
+  return v;
+}
+
+/// Full adder: returns {sum, carry}.
+std::pair<Lit, Lit> full_adder(Aig& a, Lit x, Lit y, Lit cin) {
+  const Lit s = a.lxor(a.lxor(x, y), cin);
+  const Lit c = a.lor(a.land(x, y), a.land(cin, a.lxor(x, y)));
+  return {s, c};
+}
+
+/// Ripple chain over pre-existing literals; returns sums + final carry.
+std::pair<std::vector<Lit>, Lit> ripple_chain(Aig& a, const std::vector<Lit>& x,
+                                              const std::vector<Lit>& y, Lit cin) {
+  STEP_CHECK(x.size() == y.size());
+  std::vector<Lit> sum(x.size());
+  Lit c = cin;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto [s, co] = full_adder(a, x[i], y[i], c);
+    sum[i] = s;
+    c = co;
+  }
+  return {sum, c};
+}
+
+int ceil_log2(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Aig ripple_adder(int n) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+  const Lit cin = a.add_input("cin");
+  auto [sum, cout] = ripple_chain(a, x, y, cin);
+  for (int i = 0; i < n; ++i) a.add_output(sum[i], "sum" + std::to_string(i));
+  a.add_output(cout, "cout");
+  return a;
+}
+
+Aig carry_select_adder(int n, int block) {
+  STEP_CHECK(block >= 1);
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+  const Lit cin = a.add_input("cin");
+
+  std::vector<Lit> sum(n);
+  Lit carry = cin;
+  for (int base = 0; base < n; base += block) {
+    const int w = std::min(block, n - base);
+    const std::vector<Lit> xs(x.begin() + base, x.begin() + base + w);
+    const std::vector<Lit> ys(y.begin() + base, y.begin() + base + w);
+    // Two speculative ripples, then select on the incoming carry.
+    auto [s0, c0] = ripple_chain(a, xs, ys, aig::kLitFalse);
+    auto [s1, c1] = ripple_chain(a, xs, ys, aig::kLitTrue);
+    for (int i = 0; i < w; ++i) {
+      sum[base + i] = a.lmux(carry, s1[i], s0[i]);
+    }
+    carry = a.lmux(carry, c1, c0);
+  }
+  for (int i = 0; i < n; ++i) a.add_output(sum[i], "sum" + std::to_string(i));
+  a.add_output(carry, "cout");
+  return a;
+}
+
+Aig array_multiplier(int n) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+
+  std::vector<Lit> acc(2 * n, aig::kLitFalse);
+  for (int j = 0; j < n; ++j) {
+    // Add x * y_j shifted by j into the accumulator, rippling carries.
+    Lit carry = aig::kLitFalse;
+    for (int i = 0; i < n; ++i) {
+      const Lit pp = a.land(x[i], y[j]);
+      auto [s, c] = full_adder(a, acc[i + j], pp, carry);
+      acc[i + j] = s;
+      carry = c;
+    }
+    // Propagate the final carry up.
+    for (int k = n + j; k < 2 * n && carry != aig::kLitFalse; ++k) {
+      const Lit s = a.lxor(acc[k], carry);
+      carry = a.land(acc[k], carry);
+      acc[k] = s;
+    }
+  }
+  for (int i = 0; i < 2 * n; ++i) a.add_output(acc[i], "p" + std::to_string(i));
+  return a;
+}
+
+Aig alu(int n) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+  const std::vector<Lit> op = add_inputs(a, "op", 3);
+
+  auto [sum, carry_add] = ripple_chain(a, x, y, aig::kLitFalse);
+  // Subtraction: x + ~y + 1.
+  std::vector<Lit> ny(n);
+  for (int i = 0; i < n; ++i) ny[i] = aig::lnot(y[i]);
+  auto [diff, carry_sub] = ripple_chain(a, x, ny, aig::kLitTrue);
+
+  // lt / eq comparisons.
+  Lit eq = aig::kLitTrue;
+  for (int i = 0; i < n; ++i) eq = a.land(eq, a.lxnor(x[i], y[i]));
+  const Lit lt = aig::lnot(carry_sub);  // unsigned borrow
+
+  // Result mux over the opcode.
+  std::vector<Lit> result(n);
+  for (int i = 0; i < n; ++i) {
+    const Lit land_i = a.land(x[i], y[i]);
+    const Lit lor_i = a.lor(x[i], y[i]);
+    const Lit lxor_i = a.lxor(x[i], y[i]);
+    const Lit r0 = a.lmux(op[0], lor_i, land_i);     // 00x: and / or
+    const Lit r1 = a.lmux(op[0], sum[i], lxor_i);    // 01x: xor / add
+    const Lit r2 = a.lmux(op[0], i == 0 ? lt : aig::kLitFalse, diff[i]);
+    const Lit r3 = a.lmux(op[0], x[i], i == 0 ? eq : aig::kLitFalse);
+    const Lit lo = a.lmux(op[1], r1, r0);
+    const Lit hi = a.lmux(op[1], r3, r2);
+    result[i] = a.lmux(op[2], hi, lo);
+  }
+  for (int i = 0; i < n; ++i) a.add_output(result[i], "r" + std::to_string(i));
+  a.add_output(carry_add, "cout");
+  a.add_output(eq, "eq");
+  a.add_output(lt, "lt");
+  return a;
+}
+
+Aig comparator(int n) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+  Lit eq = aig::kLitTrue;
+  Lit lt = aig::kLitFalse;
+  for (int i = n - 1; i >= 0; --i) {  // MSB first
+    lt = a.lor(lt, a.land(eq, a.land(aig::lnot(x[i]), y[i])));
+    eq = a.land(eq, a.lxnor(x[i], y[i]));
+  }
+  const Lit gt = a.land(aig::lnot(eq), aig::lnot(lt));
+  a.add_output(eq, "eq");
+  a.add_output(lt, "lt");
+  a.add_output(gt, "gt");
+  return a;
+}
+
+Aig parity_tree(int n) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "x", n);
+  a.add_output(a.lxor_many(x), "parity");
+  return a;
+}
+
+Aig mux_tree(int sel_bits) {
+  Aig a;
+  const int n = 1 << sel_bits;
+  const std::vector<Lit> d = add_inputs(a, "d", n);
+  const std::vector<Lit> s = add_inputs(a, "s", sel_bits);
+  std::vector<Lit> level = d;
+  for (int b = 0; b < sel_bits; ++b) {
+    std::vector<Lit> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = a.lmux(s[b], level[2 * i + 1], level[2 * i]);
+    }
+    level = std::move(next);
+  }
+  a.add_output(level[0], "out");
+  return a;
+}
+
+Aig priority_encoder(int n) {
+  Aig a;
+  const std::vector<Lit> req = add_inputs(a, "req", n);
+  Lit none_above = aig::kLitTrue;
+  std::vector<Lit> grant(n);
+  for (int i = 0; i < n; ++i) {
+    grant[i] = a.land(req[i], none_above);
+    none_above = a.land(none_above, aig::lnot(req[i]));
+  }
+  for (int i = 0; i < n; ++i) a.add_output(grant[i], "g" + std::to_string(i));
+  a.add_output(aig::lnot(none_above), "valid");
+  return a;
+}
+
+Aig decoder(int addr_bits) {
+  Aig a;
+  const std::vector<Lit> addr = add_inputs(a, "addr", addr_bits);
+  const Lit en = a.add_input("en");
+  const int n = 1 << addr_bits;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> terms{en};
+    for (int b = 0; b < addr_bits; ++b) {
+      terms.push_back(((i >> b) & 1) != 0 ? addr[b] : aig::lnot(addr[b]));
+    }
+    a.add_output(a.land_many(terms), "y" + std::to_string(i));
+  }
+  return a;
+}
+
+Aig barrel_rotator(int n) {
+  Aig a;
+  const std::vector<Lit> d = add_inputs(a, "d", n);
+  const int sb = ceil_log2(n);
+  const std::vector<Lit> s = add_inputs(a, "s", sb);
+  std::vector<Lit> cur = d;
+  for (int b = 0; b < sb; ++b) {
+    const int shift = 1 << b;
+    std::vector<Lit> next(n);
+    for (int i = 0; i < n; ++i) {
+      next[i] = a.lmux(s[b], cur[(i + shift) % n], cur[i]);
+    }
+    cur = std::move(next);
+  }
+  for (int i = 0; i < n; ++i) a.add_output(cur[i], "out" + std::to_string(i));
+  return a;
+}
+
+Aig random_dag(int n_in, int n_and, int n_out, std::uint64_t seed) {
+  Aig a;
+  Rng rng(seed);
+  std::vector<Lit> pool = add_inputs(a, "x", n_in);
+  for (int g = 0; g < n_and; ++g) {
+    // Bias fanin choice towards recent nodes for deep, narrow cones.
+    auto pick = [&]() -> Lit {
+      const int m = static_cast<int>(pool.size());
+      const int lo = rng.next_bool() ? std::max(0, m - 2 * n_in) : 0;
+      Lit l = pool[rng.next_int(lo, m - 1)];
+      return rng.next_bool() ? aig::lnot(l) : l;
+    };
+    Lit v = a.land(pick(), pick());
+    pool.push_back(v);
+  }
+  for (int o = 0; o < n_out; ++o) {
+    const int m = static_cast<int>(pool.size());
+    const int lo = std::max(0, m - 3 * n_out);
+    Lit l = pool[rng.next_int(lo, m - 1)];
+    a.add_output(rng.next_bool() ? aig::lnot(l) : l, "y" + std::to_string(o));
+  }
+  return a;
+}
+
+Aig random_sop(int n_a, int n_b, int n_c, int n_out, int cubes_per_out,
+               std::uint64_t seed) {
+  Aig a;
+  Rng rng(seed);
+  const std::vector<Lit> va = add_inputs(a, "a", n_a);
+  const std::vector<Lit> vb = add_inputs(a, "b", n_b);
+  const std::vector<Lit> vc = add_inputs(a, "c", n_c);
+
+  auto pick_from = [&](const std::vector<Lit>& group, std::vector<Lit>& cube) {
+    const Lit l = group[rng.next_below(group.size())];
+    cube.push_back(rng.next_bool() ? aig::lnot(l) : l);
+  };
+  for (int o = 0; o < n_out; ++o) {
+    std::vector<Lit> cubes;
+    for (int k = 0; k < cubes_per_out; ++k) {
+      // Each cube sits on one side of the intended partition.
+      const std::vector<Lit>& side = rng.next_bool() ? va : vb;
+      std::vector<Lit> cube;
+      const int w_side = rng.next_int(1, 3);
+      const int w_c = n_c > 0 ? rng.next_int(0, 2) : 0;
+      for (int j = 0; j < w_side; ++j) pick_from(side, cube);
+      for (int j = 0; j < w_c; ++j) pick_from(vc, cube);
+      cubes.push_back(a.land_many(cube));
+    }
+    a.add_output(a.lor_many(cubes), "f" + std::to_string(o));
+  }
+  return a;
+}
+
+Aig lfsr_next(int n, std::uint64_t taps) {
+  Aig a;
+  const std::vector<Lit> st = add_inputs(a, "q", n);
+  std::vector<Lit> fb_terms;
+  for (int i = 0; i < n; ++i) {
+    if ((taps >> i) & 1ULL) fb_terms.push_back(st[i]);
+  }
+  const Lit fb = a.lxor_many(fb_terms);
+  a.add_output(fb, "n0");
+  for (int i = 1; i < n; ++i) a.add_output(st[i - 1], "n" + std::to_string(i));
+  return a;
+}
+
+Aig counter_next(int n) {
+  Aig a;
+  const std::vector<Lit> st = add_inputs(a, "q", n);
+  const Lit en = a.add_input("en");
+  Lit carry = en;
+  for (int i = 0; i < n; ++i) {
+    a.add_output(a.lxor(st[i], carry), "n" + std::to_string(i));
+    carry = a.land(carry, st[i]);
+  }
+  a.add_output(carry, "ovf");
+  return a;
+}
+
+Aig gray_next(int n) {
+  Aig a;
+  const std::vector<Lit> g = add_inputs(a, "g", n);
+  // Convert Gray -> binary, increment, convert back.
+  std::vector<Lit> bin(n);
+  bin[n - 1] = g[n - 1];
+  for (int i = n - 2; i >= 0; --i) bin[i] = a.lxor(bin[i + 1], g[i]);
+  std::vector<Lit> inc(n);
+  Lit carry = aig::kLitTrue;
+  for (int i = 0; i < n; ++i) {
+    inc[i] = a.lxor(bin[i], carry);
+    carry = a.land(carry, bin[i]);
+  }
+  for (int i = 0; i < n; ++i) {
+    const Lit hi = (i + 1 < n) ? inc[i + 1] : aig::kLitFalse;
+    a.add_output(a.lxor(inc[i], hi), "n" + std::to_string(i));
+  }
+  return a;
+}
+
+Aig majority(int n) {
+  STEP_CHECK(n % 2 == 1);
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "x", n);
+  // Unary counting network: sorted[i] = "at least i+1 inputs are 1".
+  std::vector<Lit> sorted;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> next(sorted.size() + 1);
+    for (std::size_t j = 0; j < next.size(); ++j) {
+      const Lit keep = j < sorted.size() ? sorted[j] : aig::kLitFalse;
+      const Lit inc = j == 0 ? aig::kLitTrue : sorted[j - 1];
+      next[j] = a.lmux(x[i], inc, keep);
+    }
+    sorted = std::move(next);
+  }
+  a.add_output(sorted[n / 2], "maj");
+  return a;
+}
+
+Aig hamming_ge(int n, int t) {
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "a", n);
+  const std::vector<Lit> y = add_inputs(a, "b", n);
+  std::vector<Lit> sorted;
+  for (int i = 0; i < n; ++i) {
+    const Lit d = a.lxor(x[i], y[i]);
+    std::vector<Lit> next(sorted.size() + 1);
+    for (std::size_t j = 0; j < next.size(); ++j) {
+      const Lit keep = j < sorted.size() ? sorted[j] : aig::kLitFalse;
+      const Lit inc = j == 0 ? aig::kLitTrue : sorted[j - 1];
+      next[j] = a.lmux(d, inc, keep);
+    }
+    sorted = std::move(next);
+  }
+  STEP_CHECK(t >= 1 && t <= n);
+  a.add_output(sorted[t - 1], "ge");
+  return a;
+}
+
+const char* embedded_c17_blif() {
+  // ISCAS'85 C17: six NAND2 gates; nets named as in the original netlist.
+  return ".model c17\n"
+         ".inputs G1 G2 G3 G6 G7\n"
+         ".outputs G22 G23\n"
+         ".names G1 G3 G10\n0- 1\n-0 1\n"
+         ".names G3 G6 G11\n0- 1\n-0 1\n"
+         ".names G2 G11 G16\n0- 1\n-0 1\n"
+         ".names G11 G7 G19\n0- 1\n-0 1\n"
+         ".names G10 G16 G22\n0- 1\n-0 1\n"
+         ".names G16 G19 G23\n0- 1\n-0 1\n"
+         ".end\n";
+}
+
+Aig merge(const std::vector<Aig>& parts) {
+  Aig a;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const Aig& src = parts[p];
+    const std::string prefix = "m" + std::to_string(p) + "_";
+    std::vector<Lit> input_map(src.num_inputs());
+    for (std::uint32_t i = 0; i < src.num_inputs(); ++i) {
+      input_map[i] = a.add_input(prefix + src.input_name(i));
+    }
+    for (std::uint32_t o = 0; o < src.num_outputs(); ++o) {
+      const Lit l = aig::copy_cone(src, src.output(o), a, input_map);
+      a.add_output(l, prefix + src.output_name(o));
+    }
+  }
+  return a;
+}
+
+}  // namespace step::benchgen

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::benchgen {
+
+/// Deterministic generators for the benchmark families standing in for the
+/// ISCAS'85/'89, ITC'99 and LGSYNTH circuits of the paper's evaluation
+/// (the original files are not redistributable in this offline build; see
+/// DESIGN.md §4 for the substitution rationale). Every generator returns a
+/// self-contained combinational AIG with named inputs and outputs.
+
+/// n-bit ripple-carry adder: a[n] + b[n] + cin -> sum[n], cout.
+aig::Aig ripple_adder(int n);
+
+/// n-bit carry-select adder built from `block`-bit ripple blocks.
+aig::Aig carry_select_adder(int n, int block);
+
+/// n x n array multiplier: a[n] * b[n] -> p[2n].
+aig::Aig array_multiplier(int n);
+
+/// n-bit ALU with a 3-bit opcode (AND, OR, XOR, ADD, SUB, LT, EQ, PASS),
+/// in the spirit of the 74181: flags + result outputs.
+aig::Aig alu(int n);
+
+/// n-bit magnitude comparator: eq, lt, gt outputs.
+aig::Aig comparator(int n);
+
+/// n-input odd-parity tree (single output).
+aig::Aig parity_tree(int n);
+
+/// 2^sel_bits-to-1 multiplexer: data[2^s], sel[s] -> out.
+aig::Aig mux_tree(int sel_bits);
+
+/// n-input priority encoder: req[n] -> grant[n] (one-hot), valid.
+aig::Aig priority_encoder(int n);
+
+/// log2(n)-to-n decoder with enable.
+aig::Aig decoder(int addr_bits);
+
+/// n-bit barrel rotator: data[n], amount[ceil(log2 n)] -> out[n]
+/// (the "rot" benchmark namesake).
+aig::Aig barrel_rotator(int n);
+
+/// Random combinational DAG: n_in inputs, n_and AND gates with random
+/// (possibly complemented) fanins biased towards recent nodes, n_out
+/// outputs sampled from the top of the DAG. Fully deterministic in `seed`.
+aig::Aig random_dag(int n_in, int n_and, int n_out, std::uint64_t seed);
+
+/// Random multi-output SOP network over three variable groups sized
+/// n_a / n_b / n_c: every cube of output o draws its literals from either
+/// group A ∪ C or group B ∪ C, so each PO is OR bi-decomposable with at
+/// most the C group shared — with the *actual* optimum often smaller.
+/// This is the LGSYNTH-style two-level family that differentiates the
+/// engines' partition quality.
+aig::Aig random_sop(int n_a, int n_b, int n_c, int n_out, int cubes_per_out,
+                    std::uint64_t seed);
+
+/// Next-state logic of an n-bit Fibonacci LFSR with the given tap mask —
+/// the combinational view (`comb`) of a sequential circuit: state[n] ->
+/// next[n].
+aig::Aig lfsr_next(int n, std::uint64_t taps);
+
+/// Next-state logic of an n-bit binary up-counter with enable.
+aig::Aig counter_next(int n);
+
+/// Binary-reflected Gray-code increment: state[n] -> next[n].
+aig::Aig gray_next(int n);
+
+/// Majority-of-n (n odd): single output.
+aig::Aig majority(int n);
+
+/// Hamming-distance threshold: dist(a[n], b[n]) >= t.
+aig::Aig hamming_ge(int n, int t);
+
+/// The ISCAS'85 C17 circuit, embedded verbatim (6 NAND gates) as BLIF.
+const char* embedded_c17_blif();
+
+/// Disjoint union of several circuits into one multi-output circuit
+/// (inputs/outputs renamed with per-part prefixes). This is how the suite
+/// builds s-series-like circuits with many POs of varied support.
+aig::Aig merge(const std::vector<aig::Aig>& parts);
+
+}  // namespace step::benchgen

@@ -1,0 +1,126 @@
+#include "benchgen/suite.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "benchgen/generators.h"
+
+namespace step::benchgen {
+
+namespace {
+
+std::vector<BenchCircuit> tiny_suite() {
+  std::vector<BenchCircuit> s;
+  s.push_back({"tadd", "C880", ripple_adder(4)});
+  s.push_back({"tcmp", "C2670", comparator(4)});
+  s.push_back({"tpar", "i10", parity_tree(6)});
+  s.push_back({"tpri", "s5378", priority_encoder(6)});
+  s.push_back({"trnd", "s1423", random_dag(8, 24, 6, 0x51423)});
+  s.push_back({"tcnt", "b07", counter_next(5)});
+  s.push_back({"tsop", "sbc", random_sop(3, 3, 2, 6, 4, 0x5bc)});
+  s.push_back({"tmux", "pair", mux_tree(2)});
+  return s;
+}
+
+std::vector<BenchCircuit> small_suite() {
+  std::vector<BenchCircuit> s;
+  s.push_back({"xc880", "C880", merge({alu(5), random_sop(4, 4, 1, 5, 4, 0x880)})});
+  s.push_back({"xc2670", "C2670",
+               merge({carry_select_adder(8, 3), comparator(6),
+                      random_sop(4, 4, 2, 6, 4, 0x2670)})});
+  s.push_back({"xc7552", "C7552",
+               merge({ripple_adder(8), parity_tree(10), priority_encoder(10),
+                      random_sop(5, 5, 2, 8, 5, 0xc7552)})});
+  s.push_back({"xrot", "rot", barrel_rotator(8)});
+  s.push_back({"xi10", "i10", random_dag(20, 90, 18, 0x110)});
+  s.push_back({"xpair", "pair", merge({array_multiplier(4), mux_tree(3)})});
+  s.push_back({"xs1423", "s1423",
+               merge({lfsr_next(12, 0b110000001011), counter_next(8),
+                      random_sop(4, 4, 2, 6, 4, 0x51423)})});
+  s.push_back({"xs5378", "s5378",
+               merge({gray_next(8), decoder(4), random_dag(12, 40, 10, 0x5378)})});
+  s.push_back({"xs9234", "s9234.1",
+               merge({counter_next(10), comparator(7), parity_tree(8),
+                      random_sop(5, 5, 1, 8, 4, 0x9234)})});
+  s.push_back({"xs15850", "s15850.1",
+               merge({alu(4), barrel_rotator(6), lfsr_next(14, 0b10000000101001)})});
+  s.push_back({"xs38417", "s38417", random_dag(24, 140, 28, 0x38417)});
+  s.push_back({"xs38584", "s38584.1",
+               merge({priority_encoder(12), mux_tree(3), majority(9)})});
+  s.push_back({"xb07", "ITC b07",
+               merge({counter_next(6), hamming_ge(5, 3),
+                      random_sop(3, 3, 2, 5, 3, 0xb07)})});
+  s.push_back({"xb12", "ITC b12", random_dag(14, 48, 14, 0xb12)});
+  s.push_back({"xclma", "clma",
+               merge({decoder(4), array_multiplier(3),
+                      random_sop(5, 5, 2, 8, 5, 0xc1a)})});
+  s.push_back({"xsbc", "sbc",
+               merge({gray_next(7), priority_encoder(8),
+                      random_sop(4, 4, 2, 8, 5, 0x5bc)})});
+  s.push_back({"xmm9a", "mm9a", merge({comparator(9), mux_tree(3)})});
+  s.push_back({"xmm9b", "mm9b",
+               merge({comparator(8), hamming_ge(4, 2), parity_tree(6),
+                      random_sop(4, 4, 1, 4, 3, 0x99b)})});
+  s.push_back({"xapex", "apex7",
+               random_sop(6, 6, 3, 16, 6, 0xa9e7)});
+  s.push_back({"xterm1", "term1",
+               merge({random_sop(5, 5, 2, 10, 5, 0x7e41), mux_tree(3)})});
+  return s;
+}
+
+std::vector<BenchCircuit> full_suite() {
+  std::vector<BenchCircuit> s;
+  s.push_back({"xc880", "C880", alu(8)});
+  s.push_back({"xc2670", "C2670",
+               merge({carry_select_adder(12, 4), comparator(10)})});
+  s.push_back({"xc7552", "C7552",
+               merge({ripple_adder(12), parity_tree(16), priority_encoder(16)})});
+  s.push_back({"xrot", "rot", barrel_rotator(16)});
+  s.push_back({"xi10", "i10", random_dag(32, 160, 30, 0x110)});
+  s.push_back({"xpair", "pair", merge({array_multiplier(5), mux_tree(4)})});
+  s.push_back({"xs1423", "s1423",
+               merge({lfsr_next(16, 0b1101000000001000), counter_next(12)})});
+  s.push_back({"xs5378", "s5378",
+               merge({gray_next(12), decoder(5), random_dag(18, 70, 16, 0x5378)})});
+  s.push_back({"xs9234", "s9234.1",
+               merge({counter_next(14), comparator(10), parity_tree(12)})});
+  s.push_back({"xs15850", "s15850.1",
+               merge({alu(6), barrel_rotator(8), lfsr_next(18, 0b100000000010000011)})});
+  s.push_back({"xs38417", "s38417", random_dag(36, 240, 40, 0x38417)});
+  s.push_back({"xs38584", "s38584.1",
+               merge({priority_encoder(16), mux_tree(4), majority(11)})});
+  s.push_back({"xb07", "ITC b07", merge({counter_next(8), hamming_ge(6, 3)})});
+  s.push_back({"xb12", "ITC b12", random_dag(18, 70, 18, 0xb12)});
+  s.push_back({"xclma", "clma", merge({decoder(5), array_multiplier(4)})});
+  s.push_back({"xsbc", "sbc",
+               merge({gray_next(9), priority_encoder(10),
+                      random_sop(5, 5, 3, 10, 6, 0x5bc)})});
+  s.push_back({"xmm9a", "mm9a", merge({comparator(9), mux_tree(4)})});
+  s.push_back({"xmm9b", "mm9b",
+               merge({comparator(9), hamming_ge(5, 3), parity_tree(8)})});
+  s.push_back({"xapex", "apex7", random_sop(8, 8, 4, 20, 8, 0xa9e7)});
+  s.push_back({"xterm1", "term1",
+               merge({random_sop(7, 7, 3, 14, 6, 0x7e41), mux_tree(4)})});
+  return s;
+}
+
+}  // namespace
+
+std::vector<BenchCircuit> standard_suite(SuiteScale scale) {
+  switch (scale) {
+    case SuiteScale::kTiny: return tiny_suite();
+    case SuiteScale::kSmall: return small_suite();
+    case SuiteScale::kFull: return full_suite();
+  }
+  return small_suite();
+}
+
+SuiteScale scale_from_env() {
+  const char* env = std::getenv("STEP_BENCH_SCALE");
+  if (env == nullptr) return SuiteScale::kSmall;
+  if (std::strcmp(env, "tiny") == 0) return SuiteScale::kTiny;
+  if (std::strcmp(env, "full") == 0) return SuiteScale::kFull;
+  return SuiteScale::kSmall;
+}
+
+}  // namespace step::benchgen

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::benchgen {
+
+/// One benchmark circuit of the experiment suite, labelled with the paper
+/// circuit whose role it plays in the reproduced tables (see DESIGN.md §4:
+/// the original ISCAS/ITC/LGSYNTH files are not redistributable here, so a
+/// deterministic generator suite with comparable PO/support structure
+/// stands in).
+struct BenchCircuit {
+  std::string name;         ///< suite name, e.g. "xc880"
+  std::string standin_for;  ///< paper row it reproduces, e.g. "C880"
+  aig::Aig aig;
+};
+
+/// Suite size tiers. kTiny is for tests, kSmall is the bench default
+/// (minutes on a laptop), kFull stresses the solvers with wider supports.
+enum class SuiteScale { kTiny, kSmall, kFull };
+
+std::vector<BenchCircuit> standard_suite(SuiteScale scale);
+
+/// Reads STEP_BENCH_SCALE=tiny|small|full from the environment
+/// (default kSmall) — the knob the bench binaries use.
+SuiteScale scale_from_env();
+
+}  // namespace step::benchgen

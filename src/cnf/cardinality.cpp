@@ -1,0 +1,81 @@
+#include "cnf/cardinality.h"
+
+#include "common/check.h"
+
+namespace step::cnf {
+
+void at_least_one(ClauseSink& sink, std::span<const sat::Lit> lits) {
+  STEP_CHECK(!lits.empty());
+  sink.add_clause(lits);
+}
+
+void at_most_one_pairwise(ClauseSink& sink, std::span<const sat::Lit> lits) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      sink.add_binary(~lits[i], ~lits[j]);
+    }
+  }
+}
+
+void at_most_k(ClauseSink& sink, std::span<const sat::Lit> lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  if (k < 0) {
+    // Unsatisfiable bound: emit a contradiction.
+    const sat::Var v = sink.new_var();
+    sink.add_unit(sat::mk_lit(v));
+    sink.add_unit(~sat::mk_lit(v));
+    return;
+  }
+  if (k >= n) return;  // trivially satisfied
+  if (k == 0) {
+    for (sat::Lit l : lits) sink.add_unit(~l);
+    return;
+  }
+
+  // Sinz sequential counter: s[i][j] = "at least j+1 of lits[0..i] true".
+  // Register width k; overflow of the counter forbids the (k+1)-th literal.
+  std::vector<std::vector<sat::Lit>> s(n);
+  for (int i = 0; i < n - 1; ++i) {
+    s[i].resize(k);
+    for (int j = 0; j < k; ++j) s[i][j] = sat::mk_lit(sink.new_var());
+  }
+  // lits[0] -> s[0][0]
+  sink.add_binary(~lits[0], s[0][0]);
+  // ~s[0][j] for j >= 1
+  for (int j = 1; j < k; ++j) sink.add_unit(~s[0][j]);
+  for (int i = 1; i < n - 1; ++i) {
+    // carry: s[i-1][j] -> s[i][j]
+    for (int j = 0; j < k; ++j) sink.add_binary(~s[i - 1][j], s[i][j]);
+    // increment: lits[i] & s[i-1][j-1] -> s[i][j]; base: lits[i] -> s[i][0]
+    sink.add_binary(~lits[i], s[i][0]);
+    for (int j = 1; j < k; ++j) {
+      sink.add_ternary(~lits[i], ~s[i - 1][j - 1], s[i][j]);
+    }
+    // overflow: lits[i] & s[i-1][k-1] -> false
+    sink.add_binary(~lits[i], ~s[i - 1][k - 1]);
+  }
+  if (n >= 2) sink.add_binary(~lits[n - 1], ~s[n - 2][k - 1]);
+}
+
+void at_least_k(ClauseSink& sink, std::span<const sat::Lit> lits, int k) {
+  if (k <= 0) return;
+  const int n = static_cast<int>(lits.size());
+  sat::LitVec neg(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) neg[i] = ~lits[i];
+  at_most_k(sink, neg, n - k);
+}
+
+void diff_at_most_k(ClauseSink& sink, std::span<const sat::Lit> pos,
+                    std::span<const sat::Lit> neg, int k) {
+  sat::LitVec all(pos.begin(), pos.end());
+  for (sat::Lit l : neg) all.push_back(~l);
+  at_most_k(sink, all, k + static_cast<int>(neg.size()));
+}
+
+void diff_non_negative(ClauseSink& sink, std::span<const sat::Lit> pos,
+                       std::span<const sat::Lit> neg) {
+  // sum(neg) − sum(pos) <= 0
+  diff_at_most_k(sink, neg, pos, 0);
+}
+
+}  // namespace step::cnf

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnf/cnf.h"
+#include "sat/types.h"
+
+namespace step::cnf {
+
+/// Cardinality constraints over SAT literals.
+///
+/// The QBF models constrain the universal partition variables:
+///   fN: AtLeast1(alpha) ∧ AtLeast1(beta) ∧ per-pair AtMostOne
+///   fT(QD), eq. (5):  #{x : x ∈ XC} <= k
+///   fT(QB), eq. (6):  0 <= #XA − #XB <= k
+///   fT(QDB), eq. (8): 0 <= #XC + #XA − #XB <= k
+/// All reduce to AtMost-k over mixed-polarity literal lists; the encoder is
+/// the Sinz sequential counter (O(n·k) clauses, arc-consistent).
+
+/// At least one literal true (a single clause).
+void at_least_one(ClauseSink& sink, std::span<const sat::Lit> lits);
+
+/// At most one literal true (pairwise encoding; fine for per-pair use).
+void at_most_one_pairwise(ClauseSink& sink, std::span<const sat::Lit> lits);
+
+/// Sequential-counter AtMost-k: at most k of `lits` are true.
+/// k >= lits.size() emits nothing; k == 0 emits unit clauses.
+void at_most_k(ClauseSink& sink, std::span<const sat::Lit> lits, int k);
+
+/// At least k of `lits` are true (dual of at_most_k on negations).
+void at_least_k(ClauseSink& sink, std::span<const sat::Lit> lits, int k);
+
+/// Difference bound: sum(a in pos) − sum(b in neg) <= k
+/// (k may be negative). Encoded as AtMost(k + |neg|) over pos ∪ ¬neg.
+void diff_at_most_k(ClauseSink& sink, std::span<const sat::Lit> pos,
+                    std::span<const sat::Lit> neg, int k);
+
+/// Difference lower bound: sum(pos) − sum(neg) >= 0.
+void diff_non_negative(ClauseSink& sink, std::span<const sat::Lit> pos,
+                       std::span<const sat::Lit> neg);
+
+}  // namespace step::cnf

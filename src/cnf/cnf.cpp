@@ -1,0 +1,9 @@
+#include "cnf/cnf.h"
+
+// The sinks are header-only; this translation unit anchors the vtable.
+
+namespace step::cnf {
+
+// (intentionally empty)
+
+}  // namespace step::cnf

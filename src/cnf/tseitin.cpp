@@ -1,0 +1,78 @@
+#include "cnf/tseitin.h"
+
+namespace step::cnf {
+
+sat::Lit encode_cone(const aig::Aig& a, aig::Lit root,
+                     const std::vector<sat::Lit>& input_sat, ClauseSink& sink) {
+  constexpr sat::Lit kUnmapped{-4};  // distinct from sat::kLitUndef
+  std::vector<sat::Lit> node_lit(a.num_nodes(), kUnmapped);
+
+  // Constant handling: represent constants with a dedicated always-true
+  // variable so downstream clauses stay uniform.
+  sat::Lit true_lit = kUnmapped;
+  auto get_true = [&]() {
+    if (true_lit == kUnmapped) {
+      true_lit = sat::mk_lit(sink.new_var());
+      sink.add_unit(true_lit);
+    }
+    return true_lit;
+  };
+
+  std::vector<std::uint32_t> stack{aig::node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (node_lit[n] != kUnmapped) {
+      stack.pop_back();
+      continue;
+    }
+    if (a.is_const(n)) {
+      node_lit[n] = ~get_true();  // node 0 is constant false
+      stack.pop_back();
+      continue;
+    }
+    if (a.is_input(n)) {
+      const int idx = a.input_index(n);
+      STEP_CHECK(idx >= 0 && idx < static_cast<int>(input_sat.size()));
+      STEP_CHECK(input_sat[idx] != sat::kLitUndef);
+      node_lit[n] = input_sat[idx];
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t c0 = aig::node_of(a.fanin0(n));
+    const std::uint32_t c1 = aig::node_of(a.fanin1(n));
+    bool ready = true;
+    if (node_lit[c0] == kUnmapped) {
+      stack.push_back(c0);
+      ready = false;
+    }
+    if (node_lit[c1] == kUnmapped) {
+      stack.push_back(c1);
+      ready = false;
+    }
+    if (!ready) continue;
+
+    const sat::Lit la = aig::is_complemented(a.fanin0(n)) ? ~node_lit[c0]
+                                                          : node_lit[c0];
+    const sat::Lit lb = aig::is_complemented(a.fanin1(n)) ? ~node_lit[c1]
+                                                          : node_lit[c1];
+    const sat::Lit lg = sat::mk_lit(sink.new_var());
+    // lg <-> la & lb
+    sink.add_binary(~lg, la);
+    sink.add_binary(~lg, lb);
+    sink.add_ternary(lg, ~la, ~lb);
+    node_lit[n] = lg;
+    stack.pop_back();
+  }
+
+  const sat::Lit rl = node_lit[aig::node_of(root)];
+  return aig::is_complemented(root) ? ~rl : rl;
+}
+
+void encode_cone_assert(const aig::Aig& a, aig::Lit root,
+                        const std::vector<sat::Lit>& input_sat,
+                        ClauseSink& sink, bool value) {
+  const sat::Lit r = encode_cone(a, root, input_sat, sink);
+  sink.add_unit(value ? r : ~r);
+}
+
+}  // namespace step::cnf

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "cnf/cnf.h"
+#include "sat/types.h"
+
+namespace step::cnf {
+
+/// Encodes the cone of `root` into CNF (Tseitin), mapping AIG input i to
+/// the SAT literal `input_sat[i]`. Fresh auxiliary variables are created
+/// for internal AND nodes. Returns the SAT literal equivalent to `root`.
+///
+/// Mapping the same cone twice with different `input_sat` vectors yields
+/// independent copies — this is how the bi-decomposition formulas
+/// instantiate f(X), f(X'), f(X'') from one cone.
+///
+/// Inputs outside the cone may map to kLitUndef placeholders.
+sat::Lit encode_cone(const aig::Aig& a, aig::Lit root,
+                     const std::vector<sat::Lit>& input_sat, ClauseSink& sink);
+
+/// Convenience: encode and assert the root to the given value.
+void encode_cone_assert(const aig::Aig& a, aig::Lit root,
+                        const std::vector<sat::Lit>& input_sat,
+                        ClauseSink& sink, bool value);
+
+}  // namespace step::cnf

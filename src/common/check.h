@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace step {
+
+/// Internal invariant check that stays on in release builds.
+///
+/// EDA data structures (clause arenas, AIG literal encodings) fail in
+/// baffling ways when an invariant is violated; a hard stop with a message
+/// is vastly easier to debug than corrupted solver state. These checks
+/// guard structural invariants, not user input: user input errors are
+/// reported through error returns/exceptions at the API boundary.
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "step: invariant violated: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace step
+
+#define STEP_CHECK(expr) \
+  ((expr) ? static_cast<void>(0) : ::step::check_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace step {
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// Used throughout the library wherever reproducible randomness is needed
+/// (random benchmark circuits, randomized tests, solver tie-breaking).
+/// Never seeded from the clock: every consumer passes an explicit seed so
+/// that benchmark tables and property tests are bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Fair coin.
+  bool next_bool() { return (next() & 1ULL) != 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace step

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+
+namespace step {
+
+/// Wall-clock stopwatch.
+///
+/// The decomposition drivers follow the paper's budgeting scheme: a small
+/// per-QBF-call timeout and a larger per-circuit budget. Both are enforced
+/// with wall time through this class.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Deadline helper: `Deadline d(2.5); ... if (d.expired()) ...`.
+/// A non-positive budget means "no deadline".
+class Deadline {
+ public:
+  explicit Deadline(double budget_s = 0.0) : budget_s_(budget_s) {}
+
+  bool enabled() const { return budget_s_ > 0.0; }
+  bool expired() const { return enabled() && timer_.elapsed_s() >= budget_s_; }
+
+  /// Seconds remaining; +infinity-ish large value when disabled.
+  double remaining_s() const {
+    if (!enabled()) return 1e30;
+    double r = budget_s_ - timer_.elapsed_s();
+    return r > 0.0 ? r : 0.0;
+  }
+
+ private:
+  double budget_s_;
+  Timer timer_;
+};
+
+}  // namespace step

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+#include "common/check.h"
+
+namespace step::core {
+
+/// The two-input gate at the top of the decomposition
+/// f(X) = fA(XA,XC) <OP> fB(XB,XC).
+enum class GateOp : std::uint8_t { kOr, kAnd, kXor };
+
+inline const char* to_string(GateOp op) {
+  switch (op) {
+    case GateOp::kOr: return "OR";
+    case GateOp::kAnd: return "AND";
+    case GateOp::kXor: return "XOR";
+  }
+  return "?";
+}
+
+/// Class of a support variable in the partition X = {XA | XB | XC}.
+enum class VarClass : std::uint8_t { kA, kB, kC };
+
+/// A variable partition over the support of the function under
+/// decomposition; `cls[i]` classifies support position i.
+struct Partition {
+  std::vector<VarClass> cls;
+
+  int size() const { return static_cast<int>(cls.size()); }
+
+  int count(VarClass c) const {
+    int k = 0;
+    for (VarClass x : cls) {
+      if (x == c) ++k;
+    }
+    return k;
+  }
+
+  int num_a() const { return count(VarClass::kA); }
+  int num_b() const { return count(VarClass::kB); }
+  int num_c() const { return count(VarClass::kC); }
+
+  /// Non-trivial: both XA and XB are non-empty (Section II.A).
+  bool non_trivial() const { return num_a() > 0 && num_b() > 0; }
+
+  bool operator==(const Partition&) const = default;
+
+  /// "xA xB xC xA ..." rendering for logs and examples.
+  std::string to_string() const {
+    std::string s;
+    for (VarClass c : cls) {
+      s += (c == VarClass::kA ? 'A' : c == VarClass::kB ? 'B' : 'C');
+    }
+    return s;
+  }
+};
+
+/// Relative quality metrics of a partition (Definitions 2 and 3).
+/// Integer numerators are kept so comparisons between engines are exact.
+struct Metrics {
+  int n = 0;          ///< ||X||
+  int shared = 0;     ///< ||XC||
+  int imbalance = 0;  ///< | ||XA|| − ||XB|| |
+
+  static Metrics of(const Partition& p) {
+    Metrics m;
+    m.n = p.size();
+    m.shared = p.num_c();
+    m.imbalance = std::abs(p.num_a() - p.num_b());
+    return m;
+  }
+
+  double disjointness() const { return n == 0 ? 0.0 : static_cast<double>(shared) / n; }
+  double balancedness() const { return n == 0 ? 0.0 : static_cast<double>(imbalance) / n; }
+  double sum() const { return disjointness() + balancedness(); }
+
+  /// Integer cost used by the QDB model: ||XC|| + | ||XA||−||XB|| |
+  /// (eq. (8) with weights 1/1).
+  int combined_cost() const { return shared + imbalance; }
+};
+
+/// Single-output function prepared for decomposition: an AIG whose inputs
+/// are exactly the support of `root` (so support positions == input
+/// indices). Produced from circuit POs by extract_po_cone().
+struct Cone {
+  aig::Aig aig;
+  aig::Lit root = aig::kLitFalse;
+
+  int n() const { return static_cast<int>(aig.num_inputs()); }
+};
+
+/// Outcome of a heuristic partition search (LJH, MG).
+struct PartitionSearchResult {
+  bool found = false;
+  Partition partition;
+  /// True when the search exhausted the seed space, which proves
+  /// non-decomposability whenever found == false.
+  bool exhausted = false;
+  int sat_calls = 0;
+};
+
+}  // namespace step::core

@@ -1,0 +1,96 @@
+#include "core/circuit_driver.h"
+
+#include <algorithm>
+
+namespace step::core {
+
+int CircuitRunResult::num_decomposed() const {
+  return static_cast<int>(
+      std::count_if(pos.begin(), pos.end(), [](const PoOutcome& p) {
+        return p.status == DecomposeStatus::kDecomposed;
+      }));
+}
+
+int CircuitRunResult::num_proven_optimal() const {
+  return static_cast<int>(
+      std::count_if(pos.begin(), pos.end(), [](const PoOutcome& p) {
+        return p.status == DecomposeStatus::kDecomposed && p.proven_optimal;
+      }));
+}
+
+int CircuitRunResult::max_support() const {
+  int m = 0;
+  for (const PoOutcome& p : pos) m = std::max(m, p.support);
+  return m;
+}
+
+CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
+                             const DecomposeOptions& opts,
+                             double circuit_budget_s) {
+  CircuitRunResult result;
+  result.circuit = name;
+  result.engine = opts.engine;
+  result.op = opts.op;
+
+  Timer total;
+  Deadline circuit_deadline(circuit_budget_s);
+
+  for (std::uint32_t po = 0; po < circuit.num_outputs(); ++po) {
+    const Cone cone = extract_po_cone(circuit, po);
+    if (cone.n() < 2) continue;  // constants and wires are not decomposable
+
+    PoOutcome outcome;
+    outcome.po_index = static_cast<int>(po);
+    outcome.support = cone.n();
+
+    if (circuit_deadline.expired()) {
+      result.hit_circuit_budget = true;
+      outcome.status = DecomposeStatus::kUnknown;
+      result.pos.push_back(outcome);
+      continue;
+    }
+
+    // Respect both the per-PO budget and the remaining circuit budget.
+    DecomposeOptions po_opts = opts;
+    po_opts.po_budget_s =
+        std::min(opts.po_budget_s, circuit_deadline.remaining_s());
+
+    const DecomposeResult r = BiDecomposer(po_opts).decompose(cone);
+    outcome.status = r.status;
+    outcome.metrics = r.metrics;
+    outcome.proven_optimal = r.proven_optimal;
+    outcome.cpu_s = r.cpu_s;
+    result.pos.push_back(outcome);
+  }
+  result.total_cpu_s = total.elapsed_s();
+  return result;
+}
+
+QualityComparison compare_quality(const CircuitRunResult& base,
+                                  const CircuitRunResult& challenger,
+                                  MetricKind kind) {
+  QualityComparison cmp;
+  STEP_CHECK(base.pos.size() == challenger.pos.size());
+  for (std::size_t i = 0; i < base.pos.size(); ++i) {
+    const PoOutcome& b = base.pos[i];
+    const PoOutcome& c = challenger.pos[i];
+    STEP_CHECK(b.po_index == c.po_index);
+    if (b.status != DecomposeStatus::kDecomposed ||
+        c.status != DecomposeStatus::kDecomposed) {
+      continue;
+    }
+    ++cmp.considered;
+    const int bc = metric_cost(b.metrics, kind);
+    const int cc = metric_cost(c.metrics, kind);
+    if (cc < bc) {
+      ++cmp.challenger_better;
+    } else if (cc == bc) {
+      ++cmp.equal;
+    } else {
+      ++cmp.challenger_worse;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace step::core

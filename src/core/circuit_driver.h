@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decomposer.h"
+
+namespace step::core {
+
+/// Per-PO outcome of a circuit run (one engine, one op).
+struct PoOutcome {
+  int po_index = 0;
+  int support = 0;
+  DecomposeStatus status = DecomposeStatus::kUnknown;
+  Metrics metrics;
+  bool proven_optimal = false;
+  double cpu_s = 0.0;
+};
+
+/// One engine applied to every decomposable-candidate PO of a circuit —
+/// the row unit of the paper's Tables I, III, IV.
+struct CircuitRunResult {
+  std::string circuit;
+  Engine engine = Engine::kMg;
+  GateOp op = GateOp::kOr;
+  std::vector<PoOutcome> pos;  ///< POs with support >= 2 only
+  double total_cpu_s = 0.0;
+  bool hit_circuit_budget = false;
+
+  int num_decomposed() const;
+  int num_proven_optimal() const;
+  int max_support() const;  ///< the paper's #InM
+};
+
+/// Runs one engine over all POs of `circuit`. `circuit_budget_s` mirrors
+/// the paper's per-circuit timeout (6000 s there; scaled down here).
+CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
+                             const DecomposeOptions& opts,
+                             double circuit_budget_s);
+
+/// Quality comparison between two engines on the same circuit/op —
+/// the %-better / %-equal columns of Tables I and II. POs are compared
+/// when *both* engines decomposed them; `challenger_better` counts POs
+/// where the challenger achieved a strictly lower metric value.
+struct QualityComparison {
+  int considered = 0;
+  int challenger_better = 0;
+  int equal = 0;
+  int challenger_worse = 0;
+
+  double better_pct() const {
+    return considered == 0 ? 0.0 : 100.0 * challenger_better / considered;
+  }
+  double equal_pct() const {
+    return considered == 0 ? 0.0 : 100.0 * equal / considered;
+  }
+};
+
+QualityComparison compare_quality(const CircuitRunResult& base,
+                                  const CircuitRunResult& challenger,
+                                  MetricKind kind);
+
+}  // namespace step::core

@@ -1,0 +1,132 @@
+#include "core/decomposer.h"
+
+#include "core/reduce.h"
+
+namespace step::core {
+
+DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
+  Timer timer;
+  Deadline deadline(opts_.po_budget_s);
+  DecomposeResult res;
+
+  Cone reduced;
+  if (opts_.reduce_support) reduced = reduce_cone(cone_in);
+  const Cone& cone = opts_.reduce_support ? reduced : cone_in;
+  if (cone.n() < 2) {
+    res.status = DecomposeStatus::kNotDecomposable;
+    res.cpu_s = timer.elapsed_s();
+    return res;
+  }
+
+  const RelaxationMatrix matrix = build_relaxation_matrix(cone, opts_.op);
+  RelaxationSolver rs(matrix);
+
+  auto finish_with_partition = [&](Partition p, bool proven) {
+    res.status = DecomposeStatus::kDecomposed;
+    res.metrics = Metrics::of(p);
+    res.proven_optimal = proven;
+    res.partition = std::move(p);
+    if (opts_.extract) {
+      res.functions = extract_functions(cone, opts_.op, res.partition);
+      if (opts_.verify) {
+        res.verified = verify_decomposition(cone, *res.functions);
+        STEP_CHECK(res.verified);
+      }
+    }
+  };
+
+  switch (opts_.engine) {
+    case Engine::kLjh: {
+      LjhDecomposer ljh(matrix, opts_.ljh);
+      const PartitionSearchResult r = ljh.find_partition(&deadline);
+      if (r.found) {
+        finish_with_partition(r.partition, false);
+      } else {
+        res.status = r.exhausted ? DecomposeStatus::kNotDecomposable
+                                 : DecomposeStatus::kUnknown;
+      }
+      break;
+    }
+    case Engine::kMg: {
+      MgDecomposer mg(rs, opts_.mg);
+      const PartitionSearchResult r = mg.find_partition(&deadline);
+      if (r.found) {
+        finish_with_partition(r.partition, false);
+      } else {
+        res.status = r.exhausted ? DecomposeStatus::kNotDecomposable
+                                 : DecomposeStatus::kUnknown;
+      }
+      break;
+    }
+    case Engine::kQbfDisjoint:
+    case Engine::kQbfBalanced:
+    case Engine::kQbfCombined: {
+      const QbfModel model = opts_.engine == Engine::kQbfDisjoint
+                                 ? QbfModel::kQD
+                                 : opts_.engine == Engine::kQbfBalanced
+                                       ? QbfModel::kQB
+                                       : QbfModel::kQDB;
+      std::optional<Partition> bootstrap;
+      if (opts_.bootstrap_with_mg) {
+        MgDecomposer mg(rs, opts_.mg);
+        const PartitionSearchResult r = mg.find_partition(&deadline);
+        if (r.found) {
+          bootstrap = r.partition;
+        } else if (r.exhausted) {
+          // MG's seed sweep is exact on decomposability: nothing to do.
+          res.status = DecomposeStatus::kNotDecomposable;
+          break;
+        }
+      }
+      QbfPartitionFinder finder(matrix, opts_.qbf);
+      OptimumSearch search(finder, model, opts_.optimum);
+      const OptimumResult r = search.run(bootstrap, &deadline);
+      res.qbf_calls = r.qbf_calls;
+      switch (r.outcome) {
+        case OptimumResult::Outcome::kFound:
+          finish_with_partition(r.best, r.proven_optimal);
+          break;
+        case OptimumResult::Outcome::kNotDecomposable:
+          res.status = DecomposeStatus::kNotDecomposable;
+          break;
+        case OptimumResult::Outcome::kUnknown:
+          res.status = DecomposeStatus::kUnknown;
+          break;
+      }
+      break;
+    }
+  }
+
+  res.sat_calls = rs.sat_calls();
+  res.cpu_s = timer.elapsed_s();
+  return res;
+}
+
+DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
+                                         const Partition& partition,
+                                         bool extract, bool verify) {
+  Timer timer;
+  DecomposeResult res;
+  STEP_CHECK(partition.size() == cone.n());
+
+  if (!partition.non_trivial() || !check_partition(cone, op, partition)) {
+    res.status = DecomposeStatus::kNotDecomposable;
+    res.cpu_s = timer.elapsed_s();
+    return res;
+  }
+  res.status = DecomposeStatus::kDecomposed;
+  res.partition = partition;
+  res.metrics = Metrics::of(partition);
+  res.sat_calls = 1;
+  if (extract) {
+    res.functions = extract_functions(cone, op, partition);
+    if (verify) {
+      res.verified = verify_decomposition(cone, *res.functions);
+      STEP_CHECK(res.verified);
+    }
+  }
+  res.cpu_s = timer.elapsed_s();
+  return res;
+}
+
+}  // namespace step::core

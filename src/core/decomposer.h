@@ -1,0 +1,103 @@
+#pragma once
+
+#include <optional>
+
+#include "common/timer.h"
+#include "core/extract.h"
+#include "core/ljh.h"
+#include "core/mg.h"
+#include "core/optimum.h"
+#include "core/qbf_model.h"
+
+namespace step::core {
+
+/// The decomposition engines the paper evaluates against each other.
+enum class Engine : std::uint8_t {
+  kLjh,          ///< Bi-dec / LJH [16] (OR model, best-quality mode)
+  kMg,           ///< STEP-MG [7] (group-oriented MUS)
+  kQbfDisjoint,  ///< STEP-QD — optimum disjointness via QBF
+  kQbfBalanced,  ///< STEP-QB — optimum balancedness via QBF
+  kQbfCombined,  ///< STEP-QDB — optimum disjointness+balancedness via QBF
+};
+
+inline const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kLjh: return "LJH";
+    case Engine::kMg: return "STEP-MG";
+    case Engine::kQbfDisjoint: return "STEP-QD";
+    case Engine::kQbfBalanced: return "STEP-QB";
+    case Engine::kQbfCombined: return "STEP-QDB";
+  }
+  return "?";
+}
+
+inline bool is_qbf_engine(Engine e) {
+  return e == Engine::kQbfDisjoint || e == Engine::kQbfBalanced ||
+         e == Engine::kQbfCombined;
+}
+
+struct DecomposeOptions {
+  GateOp op = GateOp::kOr;
+  Engine engine = Engine::kQbfDisjoint;
+  /// Per-PO wall budget (the paper gives each circuit 6000 s total).
+  double po_budget_s = 10.0;
+  /// Bootstrap the QBF engines with an MG partition (paper Section V.A:
+  /// "STEP-{QD,QB,QDB} is bootstrapped with the result of STEP-MG").
+  bool bootstrap_with_mg = true;
+  /// Compute fA/fB after the partition (interpolation / cofactoring).
+  bool extract = true;
+  /// SAT-verify f ≡ fA <OP> fB after extraction.
+  bool verify = true;
+  /// Drop semantically irrelevant inputs before decomposing (one SAT
+  /// check per input; see core/reduce.h). The reported partition/metrics
+  /// then refer to the reduced support.
+  bool reduce_support = false;
+  LjhOptions ljh;
+  MgOptions mg;
+  OptimumOptions optimum;
+  QbfFinderOptions qbf;
+};
+
+enum class DecomposeStatus : std::uint8_t {
+  kDecomposed,
+  kNotDecomposable,  ///< proven: no non-trivial partition for this op
+  kUnknown,          ///< budget exhausted before any conclusion
+};
+
+struct DecomposeResult {
+  DecomposeStatus status = DecomposeStatus::kUnknown;
+  Partition partition;
+  Metrics metrics;
+  /// QBF engines only: optimum proven for the engine's target metric.
+  bool proven_optimal = false;
+  std::optional<ExtractedFunctions> functions;
+  bool verified = false;
+  double cpu_s = 0.0;
+  int sat_calls = 0;
+  int qbf_calls = 0;
+};
+
+/// Facade running one engine on one cone — the per-PO unit of work of the
+/// paper's experiments and of this library's public API.
+class BiDecomposer {
+ public:
+  explicit BiDecomposer(DecomposeOptions opts = {}) : opts_(opts) {}
+
+  const DecomposeOptions& options() const { return opts_; }
+
+  DecomposeResult decompose(const Cone& cone) const;
+
+ private:
+  DecomposeOptions opts_;
+};
+
+/// Decomposition under a *known* partition — the setting of Proposition 1
+/// ([16] assumes the partition is given; the paper automates finding it).
+/// Validates the partition with one SAT call, then extracts and verifies.
+/// Status is kNotDecomposable when the partition is trivial or invalid.
+DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
+                                         const Partition& partition,
+                                         bool extract = true,
+                                         bool verify = true);
+
+}  // namespace step::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+
+#include "core/bidec_types.h"
+
+namespace step::core {
+
+/// The decomposed sub-functions, hosted in one AIG whose inputs mirror the
+/// cone's inputs (same order/names):
+///   fa       — fA(XA, XC): structurally supported only by XA ∪ XC
+///   fb       — fB(XB, XC): structurally supported only by XB ∪ XC
+///   combined — fa <OP> fb (the reconstruction of f)
+/// The AIG registers these as outputs 0, 1, 2 for convenient IO.
+struct ExtractedFunctions {
+  aig::Aig aig;
+  aig::Lit fa = aig::kLitFalse;
+  aig::Lit fb = aig::kLitFalse;
+  aig::Lit combined = aig::kLitFalse;
+};
+
+/// Computes fA and fB for a *valid* partition (callers establish validity
+/// first; an invalid partition trips a STEP_CHECK via the interpolation
+/// engine's UNSAT requirement).
+///
+/// OR: two sequential Craig interpolation queries (Section III.B /
+/// Lee-Jiang-Hung):
+///   fA = ITP( f(X) ∧ ¬f(XA',XB,XC) ,  ¬f(XA,XB',XC) )     over XA ∪ XC
+///   fB = ITP( f(X) ∧ ¬fA(XA,XC)    ,  ¬f(XA',XB,XC) )     over XB ∪ XC
+/// AND: duality — OR-extraction of ¬f, both results complemented.
+/// XOR: cofactoring — fA = f|XB←0,  fB = f|XA←0 ⊕ f|XA←0,XB←0.
+ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
+                                     const Partition& p);
+
+/// SAT check that f ≡ fa <OP> fb (miter unsatisfiability).
+bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns);
+
+}  // namespace step::core

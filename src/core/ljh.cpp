@@ -1,0 +1,93 @@
+#include "core/ljh.h"
+
+#include <utility>
+
+#include "core/partition_check.h"
+
+namespace step::core {
+
+bool LjhDecomposer::check(const Partition& p, const Deadline* deadline,
+                          sat::Result* status) {
+  ++sat_calls_;
+  if (opts_.incremental_sat) {
+    if (incremental_ == nullptr) {
+      incremental_ = std::make_unique<RelaxationSolver>(m_);
+    }
+    return incremental_->is_valid(p, deadline, status);
+  }
+  // Faithful Bi-dec behaviour: a fresh CNF encoding per query.
+  RelaxationSolver fresh(m_);
+  return fresh.is_valid(p, deadline, status);
+}
+
+PartitionSearchResult LjhDecomposer::find_partition(const Deadline* deadline) {
+  PartitionSearchResult result;
+  const int n = m_.n;
+  if (n < 2) {
+    result.exhausted = true;
+    return result;
+  }
+  auto out_of_time = [&] { return deadline != nullptr && deadline->expired(); };
+
+  Partition seed;
+  seed.cls.assign(n, VarClass::kC);
+
+  int attempts = 0;
+  int grown = 0;
+  bool all_pairs_tried = true;
+  bool best_set = false;
+  Partition best;
+  std::pair<int, int> best_cost{0, 0};  // (shared, imbalance) lexicographic
+
+  for (int j = 0; j < n && grown < opts_.max_grown_seeds; ++j) {
+    for (int l = j + 1; l < n && grown < opts_.max_grown_seeds; ++l) {
+      if (attempts >= opts_.max_seed_attempts || out_of_time()) {
+        all_pairs_tried = false;
+        j = n;  // abandon both loops
+        break;
+      }
+      ++attempts;
+      seed.cls.assign(n, VarClass::kC);
+      seed.cls[j] = VarClass::kA;
+      seed.cls[l] = VarClass::kB;
+      sat::Result status;
+      if (!check(seed, deadline, &status)) {
+        if (status == sat::Result::kUnknown) all_pairs_tried = false;
+        continue;
+      }
+
+      // Greedy growth: move shared variables into XA or XB while the
+      // partition stays valid.
+      Partition p = seed;
+      for (int v = 0; v < n; ++v) {
+        if (p.cls[v] != VarClass::kC) continue;
+        if (out_of_time()) {
+          all_pairs_tried = false;
+          break;
+        }
+        p.cls[v] = VarClass::kA;
+        if (check(p, deadline, nullptr)) continue;
+        p.cls[v] = VarClass::kB;
+        if (check(p, deadline, nullptr)) continue;
+        p.cls[v] = VarClass::kC;
+      }
+
+      const Metrics m = Metrics::of(p);
+      const std::pair<int, int> cost{m.shared, m.imbalance};
+      if (!best_set || cost < best_cost) {
+        best_set = true;
+        best = p;
+        best_cost = cost;
+      }
+      ++grown;
+    }
+  }
+
+  result.found = best_set;
+  if (best_set) result.partition = std::move(best);
+  result.exhausted = all_pairs_tried && !best_set;
+  result.sat_calls = sat_calls_;
+  return result;
+}
+
+}  // namespace step::core

@@ -1,0 +1,11 @@
+#include "core/bidec_types.h"
+
+// Metrics and Partition are header-only; this translation unit exists to
+// give the core library a stable anchor and to host the odd non-inline
+// helper as the API grows.
+
+namespace step::core {
+
+// (intentionally empty)
+
+}  // namespace step::core

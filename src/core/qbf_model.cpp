@@ -1,0 +1,114 @@
+#include "core/qbf_model.h"
+
+#include "cnf/cardinality.h"
+#include "cnf/cnf.h"
+
+namespace step::core {
+
+QbfPartitionFinder::QbfPartitionFinder(const RelaxationMatrix& m,
+                                       QbfFinderOptions opts)
+    : m_(m), opts_(opts) {}
+
+QbfFindResult QbfPartitionFinder::find_with_bound(QbfModel model, int k,
+                                                  const Deadline* deadline) {
+  const int n = m_.n;
+  ++qbf_calls_;
+
+  // Quantifier structure of the negated formulation (9):
+  // outer (∃) = alpha ++ beta;  inner (∀) = all cone-copy inputs.
+  std::vector<std::uint32_t> outer(m_.alpha);
+  outer.insert(outer.end(), m_.beta.begin(), m_.beta.end());
+  std::vector<std::uint32_t> inner(m_.x);
+  inner.insert(inner.end(), m_.xp.begin(), m_.xp.end());
+  inner.insert(inner.end(), m_.xpp.begin(), m_.xpp.end());
+  inner.insert(inner.end(), m_.xppp.begin(), m_.xppp.end());
+
+  qbf::ExistsForallSolver solver(m_.aig, aig::lnot(m_.phi), outer, inner,
+                                 opts_.cegar);
+
+  // Side constraints over (α, β) go straight into the abstraction.
+  cnf::SolverSink sink(solver.abstraction());
+  sat::LitVec alpha(n), beta(n);
+  for (int i = 0; i < n; ++i) {
+    alpha[i] = sat::mk_lit(solver.outer_var(i));
+    beta[i] = sat::mk_lit(solver.outer_var(n + i));
+  }
+
+  // fN: non-trivial partition, one class per variable.
+  cnf::at_least_one(sink, alpha);
+  cnf::at_least_one(sink, beta);
+  for (int i = 0; i < n; ++i) {
+    sink.add_binary(~alpha[i], ~beta[i]);
+  }
+
+  // Shared-variable indicators t_i ⇔ (¬α_i ∧ ¬β_i), used by QD and QDB.
+  auto make_shared_indicators = [&]() {
+    sat::LitVec t(n);
+    for (int i = 0; i < n; ++i) {
+      t[i] = sat::mk_lit(sink.new_var());
+      sink.add_ternary(t[i], alpha[i], beta[i]);
+      sink.add_binary(~t[i], ~alpha[i]);
+      sink.add_binary(~t[i], ~beta[i]);
+    }
+    return t;
+  };
+
+  // fT: the target constraint for the requested model and bound.
+  const bool sym = opts_.symmetry_breaking;
+  switch (model) {
+    case QbfModel::kQD: {
+      const sat::LitVec t = make_shared_indicators();
+      cnf::at_most_k(sink, t, k);
+      // Symmetry breaking |XA| >= |XB| (Section IV.A.2).
+      if (sym) cnf::diff_non_negative(sink, alpha, beta);
+      break;
+    }
+    case QbfModel::kQB: {
+      // 0 <= #XA − #XB <= k (eq. (6); symmetry removed by construction).
+      // Without the symmetry break, bound |#XA − #XB| <= k instead.
+      if (sym) cnf::diff_non_negative(sink, alpha, beta);
+      cnf::diff_at_most_k(sink, alpha, beta, k);
+      if (!sym) cnf::diff_at_most_k(sink, beta, alpha, k);
+      break;
+    }
+    case QbfModel::kQDB: {
+      // 0 <= #XC + #XA − #XB <= k with |XA| >= |XB| (eq. (8)); the
+      // unbroken variant bounds #XC + |#XA − #XB| <= k.
+      const sat::LitVec t = make_shared_indicators();
+      if (sym) cnf::diff_non_negative(sink, alpha, beta);
+      sat::LitVec pos_a(t), pos_b(t);
+      pos_a.insert(pos_a.end(), alpha.begin(), alpha.end());
+      cnf::diff_at_most_k(sink, pos_a, beta, k);
+      if (!sym) {
+        pos_b.insert(pos_b.end(), beta.begin(), beta.end());
+        cnf::diff_at_most_k(sink, pos_b, alpha, k);
+      }
+      break;
+    }
+  }
+
+  // Replay previously discovered universal countermodels.
+  if (opts_.pool_seeding) {
+    for (const auto& cm : pool_) solver.seed_countermodel(cm);
+  }
+
+  const qbf::Qbf2Result r = solver.solve(deadline);
+  for (const auto& cm : solver.countermodels()) pool_.push_back(cm);
+
+  QbfFindResult result;
+  result.status = r.status;
+  result.iterations = r.iterations;
+  if (r.status == qbf::Qbf2Status::kTrue) {
+    result.partition.cls.resize(n);
+    for (int i = 0; i < n; ++i) {
+      const bool in_a = r.outer_model[i] == sat::Lbool::kTrue;
+      const bool in_b = r.outer_model[n + i] == sat::Lbool::kTrue;
+      STEP_CHECK(!(in_a && in_b));
+      result.partition.cls[i] =
+          in_a ? VarClass::kA : in_b ? VarClass::kB : VarClass::kC;
+    }
+  }
+  return result;
+}
+
+}  // namespace step::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <vector>
+
+#include "common/timer.h"
+#include "core/partition_check.h"
+#include "core/relaxation.h"
+#include "qbf/qbf2.h"
+
+namespace step::core {
+
+/// The paper's QBF models (Section IV): which target constraint fT is
+/// imposed on the universal partition variables.
+enum class QbfModel {
+  kQD,   ///< disjointness target, eq. (5), with |XA| >= |XB| symmetry break
+  kQB,   ///< balancedness target, eq. (6)
+  kQDB,  ///< combined target, eq. (8), weights 1/1
+};
+
+inline const char* to_string(QbfModel m) {
+  switch (m) {
+    case QbfModel::kQD: return "STEP-QD";
+    case QbfModel::kQB: return "STEP-QB";
+    case QbfModel::kQDB: return "STEP-QDB";
+  }
+  return "?";
+}
+
+inline MetricKind metric_of(QbfModel m) {
+  switch (m) {
+    case QbfModel::kQD: return MetricKind::kDisjointness;
+    case QbfModel::kQB: return MetricKind::kBalancedness;
+    case QbfModel::kQDB: return MetricKind::kSum;
+  }
+  return MetricKind::kDisjointness;
+}
+
+struct QbfFindResult {
+  qbf::Qbf2Status status = qbf::Qbf2Status::kUnknown;
+  /// Valid when status == kTrue: a non-trivial partition whose target
+  /// metric numerator is <= the queried bound k.
+  Partition partition;
+  int iterations = 0;
+};
+
+/// Decides, via the 2QBF formulation (9), whether a non-trivial valid
+/// partition with fT-cost <= k exists — and produces it if so.
+///
+/// The solved formula is the *negation* of (9):
+///   ∃α,β ∀X,X',X''.  ¬Φ ∧ fN(α,β) ∧ fT(α,β)
+/// whose ∃-witness (AReQS counterexample for (9)) is the partition.
+///
+/// Instances share a pool of inner countermodels: every CEGAR refinement
+/// discovered at one bound k is sound at every other bound (the matrix
+/// part does not depend on fT), so the optimum-search loop re-seeds each
+/// new query with all previous refinements — the practical trick that
+/// makes the iterative MD/Bin/MI search affordable.
+struct QbfFinderOptions {
+  /// Break the XA/XB symmetry with |XA| >= |XB| (Section IV.A.2: "reduces
+  /// substantially the search space"). When off, the QB and QDB targets
+  /// bound the *absolute* size difference instead, which is equivalent on
+  /// partitions but doubles the witness space.
+  bool symmetry_breaking = true;
+  /// Carry CEGAR countermodels across bound queries.
+  bool pool_seeding = true;
+  /// Forwarded to the CEGAR solver.
+  qbf::CegarOptions cegar;
+};
+
+class QbfPartitionFinder {
+ public:
+  explicit QbfPartitionFinder(const RelaxationMatrix& m,
+                              QbfFinderOptions opts = {});
+
+  QbfFindResult find_with_bound(QbfModel model, int k,
+                                const Deadline* deadline = nullptr);
+
+  const RelaxationMatrix& matrix() const { return m_; }
+  int qbf_calls() const { return qbf_calls_; }
+  std::size_t pool_size() const { return pool_.size(); }
+
+ private:
+  const RelaxationMatrix& m_;  ///< not owned; must outlive the finder
+  QbfFinderOptions opts_;
+  std::vector<std::vector<sat::Lbool>> pool_;
+  int qbf_calls_ = 0;
+};
+
+}  // namespace step::core

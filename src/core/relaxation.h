@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "common/timer.h"
+#include "core/bidec_types.h"
+#include "sat/solver.h"
+
+namespace step::core {
+
+/// Extracts the cone of primary output `po` of `circuit` as a standalone
+/// Cone whose inputs are exactly the support. `orig_inputs`, when given,
+/// receives the circuit input index backing each cone input position.
+Cone extract_po_cone(const aig::Aig& circuit, std::uint32_t po,
+                     std::vector<std::uint32_t>* orig_inputs = nullptr);
+
+/// The relaxed validity matrix Φ of eq. (2) (and its AND/XOR analogues),
+/// built as an AIG over instantiated copies of the cone plus the partition
+/// control inputs α, β:
+///
+///   OR : Φ =  f(X) ∧ ¬f(X') ∧ ¬f(X'')
+///             ∧ ∧i ((xi ≡ xi') ∨ αi)  ∧  ∧i ((xi ≡ xi'') ∨ βi)
+///   AND: dual (decomposes ¬f):  ¬f(X) ∧ f(X') ∧ f(X'') ∧ (same)
+///   XOR: Φ = (f(X) ⊕ f(X') ⊕ f(X'') ⊕ f(X''')) ∧ (same)
+///             ∧ ∧i ((xi''' ≡ xi') ∨ βi) ∧ ∧i ((xi''' ≡ xi'') ∨ αi)
+///
+/// For a concrete (α,β) encoding partition {XA|XB|XC} (αi ⇔ xi ∈ XA,
+/// βi ⇔ xi ∈ XB), Φ is satisfiable iff the partition is *invalid*
+/// (Proposition 1 / its AND and XOR analogues).
+struct RelaxationMatrix {
+  aig::Aig aig;
+  aig::Lit phi = aig::kLitFalse;
+  GateOp op = GateOp::kOr;
+  int n = 0;
+  // Input index vectors into `aig`, each of length n
+  // (xppp only for XOR; empty otherwise).
+  std::vector<std::uint32_t> x, xp, xpp, xppp, alpha, beta;
+};
+
+RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op);
+
+/// Incremental SAT view of the matrix: Φ is Tseitin-encoded once, and a
+/// concrete partition is checked by assuming values of the α/β variables.
+/// UNSAT ⇔ the partition is valid. This one solver serves all the SAT-side
+/// engines (LJH growth, MG seeding + group-MUS, metric certification).
+class RelaxationSolver {
+ public:
+  explicit RelaxationSolver(const RelaxationMatrix& m);
+
+  sat::Solver& solver() { return solver_; }
+  const RelaxationMatrix& matrix() const { return m_; }
+
+  sat::Var alpha_var(int i) const { return alpha_vars_[i]; }
+  sat::Var beta_var(int i) const { return beta_vars_[i]; }
+
+  /// Assumption literals encoding a full partition.
+  sat::LitVec assumptions_for(const Partition& p) const;
+
+  /// True iff the partition is valid for the matrix's op. When the check
+  /// cannot finish within the deadline, returns false and sets *status to
+  /// kUnknown (otherwise kSat/kUnsat).
+  bool is_valid(const Partition& p, const Deadline* deadline = nullptr,
+                sat::Result* status = nullptr);
+
+  int sat_calls() const { return sat_calls_; }
+
+ private:
+  const RelaxationMatrix& m_;  ///< not owned; must outlive the solver
+  sat::Solver solver_;
+  std::vector<sat::Var> alpha_vars_, beta_vars_;
+  int sat_calls_ = 0;
+};
+
+}  // namespace step::core

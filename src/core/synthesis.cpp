@@ -1,0 +1,124 @@
+#include "core/synthesis.h"
+
+#include <algorithm>
+
+#include "aig/ops.h"
+
+namespace step::core {
+
+namespace {
+
+/// Applies the top gate of a decomposition inside `dst`.
+aig::Lit apply_gate(aig::Aig& dst, GateOp op, aig::Lit a, aig::Lit b) {
+  switch (op) {
+    case GateOp::kOr: return dst.lor(a, b);
+    case GateOp::kAnd: return dst.land(a, b);
+    case GateOp::kXor: return dst.lxor(a, b);
+  }
+  return aig::kLitFalse;
+}
+
+struct Synthesizer {
+  const SynthesisOptions& opts;
+  SynthesisStats& stats;
+
+  /// Rewrites `cone` into `dst`; cone input i maps to dst_inputs[i].
+  aig::Lit rewrite(const Cone& cone, const std::vector<aig::Lit>& dst_inputs,
+                   aig::Aig& dst, int depth) {
+    if (cone.n() <= opts.leaf_support || depth >= opts.max_depth) {
+      ++stats.leaves;
+      return aig::copy_cone(cone.aig, cone.root, dst, dst_inputs);
+    }
+
+    // Pick a gate and a partition.
+    bool have = false;
+    GateOp best_op = GateOp::kOr;
+    DecomposeResult best;
+    for (GateOp op : opts.ops) {
+      DecomposeOptions dopts = opts.per_node;
+      dopts.op = op;
+      dopts.engine = opts.engine;
+      dopts.extract = true;
+      const DecomposeResult r = BiDecomposer(dopts).decompose(cone);
+      if (r.status != DecomposeStatus::kDecomposed) continue;
+      if (!have || metric_cost(r.metrics, MetricKind::kSum) <
+                       metric_cost(best.metrics, MetricKind::kSum)) {
+        have = true;
+        best_op = op;
+        best = r;
+      }
+      if (!opts.pick_best_op) break;
+    }
+    if (!have) {
+      ++stats.leaves;
+      ++stats.undecomposable;
+      return aig::copy_cone(cone.aig, cone.root, dst, dst_inputs);
+    }
+    ++stats.decompositions;
+
+    // Recurse into fA and fB. Each is re-extracted as a standalone cone so
+    // its inputs are exactly its own support.
+    const ExtractedFunctions& fns = *best.functions;
+    auto recurse = [&](aig::Lit f) {
+      Cone sub;
+      std::vector<std::uint32_t> used;
+      std::vector<aig::Lit> created;
+      sub.root = aig::extract_cone(fns.aig, f, sub.aig, used, created);
+      std::vector<aig::Lit> sub_inputs(used.size());
+      for (std::size_t i = 0; i < used.size(); ++i) {
+        sub_inputs[i] = dst_inputs[used[i]];
+      }
+      return rewrite(sub, sub_inputs, dst, depth + 1);
+    };
+    const aig::Lit la = recurse(fns.fa);
+    const aig::Lit lb = recurse(fns.fb);
+    return apply_gate(dst, best_op, la, lb);
+  }
+};
+
+}  // namespace
+
+int cone_depth(const aig::Aig& a, aig::Lit root) {
+  std::vector<int> level(a.num_nodes(), 0);
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (!a.is_and(n)) continue;
+    level[n] = 1 + std::max(level[aig::node_of(a.fanin0(n))],
+                            level[aig::node_of(a.fanin1(n))]);
+  }
+  return level[aig::node_of(root)];
+}
+
+SynthesisResult resynthesize(const aig::Aig& circuit,
+                             const SynthesisOptions& opts) {
+  SynthesisResult result;
+  aig::Aig& dst = result.network;
+  SynthesisStats& st = result.stats;
+
+  std::vector<aig::Lit> pi_map(circuit.num_inputs());
+  for (std::uint32_t i = 0; i < circuit.num_inputs(); ++i) {
+    pi_map[i] = dst.add_input(circuit.input_name(i));
+  }
+
+  Synthesizer synth{opts, st};
+  for (std::uint32_t po = 0; po < circuit.num_outputs(); ++po) {
+    std::vector<std::uint32_t> orig_inputs;
+    const Cone cone = extract_po_cone(circuit, po, &orig_inputs);
+    st.depth_before = std::max(st.depth_before,
+                               cone_depth(circuit, circuit.output(po)));
+    ++st.pos_processed;
+
+    std::vector<aig::Lit> dst_inputs(orig_inputs.size());
+    for (std::size_t i = 0; i < orig_inputs.size(); ++i) {
+      dst_inputs[i] = pi_map[orig_inputs[i]];
+    }
+    const aig::Lit out = synth.rewrite(cone, dst_inputs, dst, 0);
+    dst.add_output(out, circuit.output_name(po));
+    st.depth_after = std::max(st.depth_after, cone_depth(dst, out));
+  }
+
+  st.ands_before = circuit.num_ands();
+  st.ands_after = dst.num_ands();
+  return result;
+}
+
+}  // namespace step::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/decomposer.h"
+
+namespace step::core {
+
+/// Recursive bi-decomposition synthesis — the application that motivates
+/// bi-decomposition in the paper's introduction (multi-level logic
+/// synthesis / FPGA mapping): each PO function is rewritten as a tree of
+/// two-input OR/AND/XOR gates by decomposing recursively until cones are
+/// trivial or undecomposable. Because a non-trivial partition keeps
+/// |XA ∪ XC| and |XB ∪ XC| strictly below |X|, the recursion terminates.
+///
+/// Partition quality drives the structure: disjoint partitions (QD/QDB)
+/// reduce fanout sharing between the branches, balanced partitions
+/// (QB/QDB) keep the gate tree shallow — which is precisely the paper's
+/// argument for optimising εD and εB.
+struct SynthesisOptions {
+  /// Partition engine used at every recursion node.
+  Engine engine = Engine::kQbfCombined;
+  /// Gates tried at each node, in preference order.
+  std::vector<GateOp> ops = {GateOp::kOr, GateOp::kAnd, GateOp::kXor};
+  /// Try every op and keep the one whose partition has the smallest
+  /// combined cost (|XC| + imbalance) instead of taking the first success.
+  bool pick_best_op = false;
+  /// Stop recursing below this support size (a 2-input function is a gate).
+  int leaf_support = 2;
+  /// Hard recursion depth cap (safety; the support shrink bounds it too).
+  int max_depth = 32;
+  /// Per-decomposition options (budgets etc.).
+  DecomposeOptions per_node;
+};
+
+struct SynthesisStats {
+  int pos_processed = 0;
+  int decompositions = 0;    ///< gates introduced by bi-decomposition
+  int leaves = 0;            ///< cones emitted verbatim
+  int undecomposable = 0;    ///< leaves forced by failed decomposition
+  std::uint32_t ands_before = 0, ands_after = 0;
+  int depth_before = 0, depth_after = 0;
+};
+
+struct SynthesisResult {
+  aig::Aig network;  ///< same PIs/POs as the input circuit
+  SynthesisStats stats;
+};
+
+/// Rewrites every PO of `circuit` by recursive bi-decomposition.
+/// The result is functionally equivalent (tests verify by miter).
+SynthesisResult resynthesize(const aig::Aig& circuit,
+                             const SynthesisOptions& opts = {});
+
+/// Longest path (in AND gates) from any input to `root`.
+int cone_depth(const aig::Aig& a, aig::Lit root);
+
+}  // namespace step::core

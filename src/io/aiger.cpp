@@ -1,0 +1,165 @@
+#include "io/aiger.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace step::io {
+
+namespace {
+
+struct AndDef {
+  std::uint32_t rhs0, rhs1;
+};
+
+}  // namespace
+
+aig::Aig parse_aiger(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string magic;
+  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  if (!(is >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
+    throw std::runtime_error("aiger: expected 'aag M I L O A' header");
+  }
+
+  aig::Aig out;
+  // aiger var -> our literal (for the positive literal of that var).
+  std::vector<aig::Lit> var_map(m + 1, aig::kLitInvalid);
+  var_map[0] = aig::kLitFalse;
+
+  auto read_lit = [&]() {
+    std::uint32_t v;
+    if (!(is >> v)) throw std::runtime_error("aiger: truncated file");
+    if (v / 2 > m) throw std::runtime_error("aiger: literal out of range");
+    return v;
+  };
+
+  std::vector<std::uint32_t> input_lits(i);
+  for (std::uint32_t k = 0; k < i; ++k) {
+    input_lits[k] = read_lit();
+    if (input_lits[k] % 2 != 0 || input_lits[k] == 0) {
+      throw std::runtime_error("aiger: input literal must be even, nonzero");
+    }
+    var_map[input_lits[k] / 2] = out.add_input("i" + std::to_string(k));
+  }
+  std::vector<std::uint32_t> latch_lits(l), latch_next(l);
+  for (std::uint32_t k = 0; k < l; ++k) {
+    latch_lits[k] = read_lit();
+    latch_next[k] = read_lit();
+    // Optional init value: peek the rest of the line.
+    std::string rest;
+    std::getline(is, rest);
+    if (latch_lits[k] % 2 != 0 || latch_lits[k] == 0) {
+      throw std::runtime_error("aiger: latch literal must be even, nonzero");
+    }
+    var_map[latch_lits[k] / 2] = out.add_input("l" + std::to_string(k));
+  }
+  std::vector<std::uint32_t> output_lits(o);
+  for (std::uint32_t k = 0; k < o; ++k) output_lits[k] = read_lit();
+
+  std::unordered_map<std::uint32_t, AndDef> ands;  // var -> fanins
+  for (std::uint32_t k = 0; k < a; ++k) {
+    const std::uint32_t lhs = read_lit();
+    const std::uint32_t rhs0 = read_lit();
+    const std::uint32_t rhs1 = read_lit();
+    if (lhs % 2 != 0 || lhs == 0 || var_map[lhs / 2] != aig::kLitInvalid) {
+      throw std::runtime_error("aiger: bad AND definition");
+    }
+    ands.emplace(lhs / 2, AndDef{rhs0, rhs1});
+  }
+
+  // Demand-driven elaboration (ASCII aiger does not promise ordering).
+  std::vector<char> visiting(m + 1, 0);
+  auto resolve = [&](std::uint32_t lit, auto&& self) -> aig::Lit {
+    const std::uint32_t var = lit / 2;
+    if (var_map[var] == aig::kLitInvalid) {
+      auto it = ands.find(var);
+      if (it == ands.end()) {
+        throw std::runtime_error("aiger: undefined variable " +
+                                 std::to_string(var));
+      }
+      if (visiting[var]) throw std::runtime_error("aiger: cyclic definition");
+      visiting[var] = 1;
+      const aig::Lit f0 = self(it->second.rhs0, self);
+      const aig::Lit f1 = self(it->second.rhs1, self);
+      var_map[var] = out.land(f0, f1);
+      visiting[var] = 0;
+    }
+    return (lit & 1U) != 0 ? aig::lnot(var_map[var]) : var_map[var];
+  };
+
+  for (std::uint32_t k = 0; k < o; ++k) {
+    out.add_output(resolve(output_lits[k], resolve), "o" + std::to_string(k));
+  }
+  for (std::uint32_t k = 0; k < l; ++k) {
+    out.add_output(resolve(latch_next[k], resolve),
+                   "l" + std::to_string(k) + "_next");
+  }
+
+  // Symbol table and comments.
+  std::string tok;
+  while (is >> tok) {
+    if (tok == "c") break;  // comment section
+    if (tok.size() < 2) continue;
+    const char kind = tok[0];
+    const int idx = std::atoi(tok.c_str() + 1);
+    std::string name;
+    std::getline(is, name);
+    if (!name.empty() && name[0] == ' ') name.erase(0, 1);
+    if (name.empty()) continue;
+    if (kind == 'i' && idx >= 0 && idx < static_cast<int>(i)) {
+      out.set_input_name(idx, name);
+    } else if (kind == 'l' && idx >= 0 && idx < static_cast<int>(l)) {
+      out.set_input_name(i + idx, name);
+      out.set_output_name(o + idx, name + "_next");
+    } else if (kind == 'o' && idx >= 0 && idx < static_cast<int>(o)) {
+      out.set_output_name(idx, name);
+    }
+  }
+  return out;
+}
+
+aig::Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("aiger: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_aiger(ss.str());
+}
+
+std::string write_aiger(const aig::Aig& a) {
+  // Node ids are dense and topologically ordered, and the literal encoding
+  // matches AIGER's, so the translation is the identity on literals.
+  std::ostringstream os;
+  const std::uint32_t m = a.num_nodes() - 1;
+  os << "aag " << m << ' ' << a.num_inputs() << " 0 " << a.num_outputs()
+     << ' ' << a.num_ands() << '\n';
+  for (std::uint32_t k = 0; k < a.num_inputs(); ++k) {
+    os << aig::mk_lit(a.input_node(k)) << '\n';
+  }
+  for (std::uint32_t k = 0; k < a.num_outputs(); ++k) {
+    os << a.output(k) << '\n';
+  }
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (!a.is_and(n)) continue;
+    os << aig::mk_lit(n) << ' ' << a.fanin0(n) << ' ' << a.fanin1(n) << '\n';
+  }
+  for (std::uint32_t k = 0; k < a.num_inputs(); ++k) {
+    os << 'i' << k << ' ' << a.input_name(k) << '\n';
+  }
+  for (std::uint32_t k = 0; k < a.num_outputs(); ++k) {
+    os << 'o' << k << ' ' << a.output_name(k) << '\n';
+  }
+  return os.str();
+}
+
+void write_aiger_file(const aig::Aig& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("aiger: cannot write '" + path + "'");
+  out << write_aiger(a);
+  if (!out) throw std::runtime_error("aiger: write failed for '" + path + "'");
+}
+
+}  // namespace step::io

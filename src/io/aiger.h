@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "aig/aig.h"
+
+namespace step::io {
+
+/// ASCII AIGER ("aag") reader/writer. AIGER's literal encoding
+/// (2*var + complement, 0 = false) matches step::aig's exactly, so the
+/// mapping is direct. Latches are cut combinationally on read (latch
+/// output -> PI, next-state -> PO), consistent with the paper's `comb`
+/// treatment; symbol-table names are honoured when present.
+aig::Aig parse_aiger(std::string_view text);
+
+aig::Aig read_aiger_file(const std::string& path);
+
+/// Writes a combinational AIG as ASCII AIGER with a full symbol table.
+std::string write_aiger(const aig::Aig& a);
+
+void write_aiger_file(const aig::Aig& a, const std::string& path);
+
+}  // namespace step::io

@@ -1,0 +1,145 @@
+#include "io/blif_reader.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace step::io {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// Reads logical lines: strips comments, joins continuations.
+std::vector<std::string> logical_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      current += line + ' ';
+      if (pos > text.size()) break;
+      continue;
+    }
+    current += line;
+    if (!current.empty()) lines.push_back(current);
+    current.clear();
+    if (pos > text.size()) break;
+  }
+  return lines;
+}
+
+}  // namespace
+
+Network parse_blif(std::string_view text) {
+  Network net;
+  bool in_model = false;
+  bool done = false;
+  NetNode* open_node = nullptr;
+
+  for (const std::string& line : logical_lines(text)) {
+    if (done) break;
+    std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    const std::string& kw = tok[0];
+    if (kw[0] == '.') {
+      open_node = nullptr;
+      if (kw == ".model") {
+        if (in_model) throw std::runtime_error("blif: nested .model");
+        in_model = true;
+        if (tok.size() > 1) net.name = tok[1];
+      } else if (kw == ".inputs") {
+        net.inputs.insert(net.inputs.end(), tok.begin() + 1, tok.end());
+      } else if (kw == ".outputs") {
+        net.outputs.insert(net.outputs.end(), tok.begin() + 1, tok.end());
+      } else if (kw == ".names") {
+        if (tok.size() < 2) throw std::runtime_error("blif: .names without output");
+        NetNode node;
+        node.name = tok.back();
+        node.fanins.assign(tok.begin() + 1, tok.end() - 1);
+        net.nodes.push_back(std::move(node));
+        open_node = &net.nodes.back();
+      } else if (kw == ".latch") {
+        if (tok.size() < 3) throw std::runtime_error("blif: malformed .latch");
+        Latch l;
+        l.input = tok[1];
+        l.output = tok[2];
+        // Optional fields: [type control] [init]; the last numeric token,
+        // if any, is the initial value.
+        const std::string& last = tok.back();
+        if (last.size() == 1 && last[0] >= '0' && last[0] <= '3') {
+          l.init_value = last[0] - '0';
+        }
+        net.latches.push_back(std::move(l));
+      } else if (kw == ".end") {
+        done = true;
+      } else if (kw == ".exdc") {
+        throw std::runtime_error("blif: .exdc is not supported");
+      } else {
+        // Unknown directives (.default_input_arrival etc.) are skipped.
+      }
+      continue;
+    }
+
+    // Cube line of the open .names block.
+    if (open_node == nullptr) {
+      throw std::runtime_error("blif: stray cube line '" + line + "'");
+    }
+    if (open_node->fanins.empty()) {
+      // Constant node: single column holds the output value.
+      if (tok.size() != 1 || tok[0].size() != 1 ||
+          (tok[0][0] != '0' && tok[0][0] != '1')) {
+        throw std::runtime_error("blif: malformed constant in '" +
+                                 open_node->name + "'");
+      }
+      open_node->out_value = tok[0][0];
+      open_node->cubes.push_back("");  // one empty cube = constant out_value
+    } else {
+      if (tok.size() != 2 || tok[1].size() != 1) {
+        throw std::runtime_error("blif: malformed cube '" + line + "'");
+      }
+      for (char c : tok[0]) {
+        if (c != '0' && c != '1' && c != '-') {
+          throw std::runtime_error("blif: bad cube character in '" + line + "'");
+        }
+      }
+      if (!open_node->cubes.empty() && open_node->out_value != tok[1][0]) {
+        throw std::runtime_error("blif: mixed ON/OFF cubes in '" +
+                                 open_node->name + "'");
+      }
+      open_node->out_value = tok[1][0];
+      open_node->cubes.push_back(tok[0]);
+    }
+  }
+
+  if (!in_model) throw std::runtime_error("blif: missing .model");
+  return net;
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("blif: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_blif(ss.str());
+}
+
+}  // namespace step::io

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/network.h"
+
+namespace step::io {
+
+/// Parses BLIF text into a Network. Supports .model, .inputs, .outputs,
+/// .names, .latch, .end, comments (#) and line continuations (\).
+/// Only the first .model of a file is read. Throws std::runtime_error on
+/// malformed input.
+Network parse_blif(std::string_view text);
+
+/// Reads and parses a BLIF file from disk.
+Network read_blif_file(const std::string& path);
+
+}  // namespace step::io

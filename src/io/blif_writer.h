@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "aig/aig.h"
+
+namespace step::io {
+
+/// Renders an AIG as BLIF: one two-input .names per AND gate, with edge
+/// complementation folded into cube polarities. Round-trips through
+/// parse_blif + to_aig to an equivalent circuit.
+std::string write_blif(const aig::Aig& a, const std::string& model_name = "aig");
+
+/// Writes to a file; throws std::runtime_error on IO failure.
+void write_blif_file(const aig::Aig& a, const std::string& path,
+                     const std::string& model_name = "aig");
+
+}  // namespace step::io

@@ -1,0 +1,15 @@
+#include "io/comb.h"
+
+namespace step::io {
+
+aig::Aig to_combinational(const Network& net) { return net.to_aig(/*comb=*/true); }
+
+std::size_t comb_num_inputs(const Network& net) {
+  return net.inputs.size() + net.latches.size();
+}
+
+std::size_t comb_num_outputs(const Network& net) {
+  return net.outputs.size() + net.latches.size();
+}
+
+}  // namespace step::io

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "aig/aig.h"
+#include "io/network.h"
+
+namespace step::io {
+
+/// ABC-`comb` equivalent: elaborates a (possibly sequential) network into a
+/// combinational AIG by cutting latches — latch outputs become primary
+/// inputs, latch inputs (next-state functions) become primary outputs.
+/// This matches how the paper prepares ISCAS'89/ITC'99 circuits.
+aig::Aig to_combinational(const Network& net);
+
+/// Number of primary inputs the combinational view will have.
+std::size_t comb_num_inputs(const Network& net);
+
+/// Number of primary outputs the combinational view will have.
+std::size_t comb_num_outputs(const Network& net);
+
+}  // namespace step::io

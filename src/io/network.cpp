@@ -1,0 +1,109 @@
+#include "io/network.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace step::io {
+
+aig::Aig Network::to_aig(bool comb) const {
+  if (!latches.empty() && !comb) {
+    throw std::runtime_error("network: sequential elaboration requires comb=true");
+  }
+
+  aig::Aig a;
+  std::unordered_map<std::string, aig::Lit> net;
+
+  for (const std::string& in : inputs) {
+    net[in] = a.add_input(in);
+  }
+  for (const Latch& l : latches) {
+    net[l.output] = a.add_input(l.output);  // current state becomes a PI
+  }
+
+  // Index nodes by output name for demand-driven elaboration.
+  std::unordered_map<std::string, const NetNode*> by_name;
+  for (const NetNode& n : nodes) {
+    if (!by_name.emplace(n.name, &n).second) {
+      throw std::runtime_error("network: net '" + n.name + "' driven twice");
+    }
+  }
+
+  // Iterative path-DFS over name dependencies (BLIF allows any node
+  // order). Grey marks exactly the nodes on the current path, so hitting
+  // a grey fanin is a genuine combinational cycle — shared (diamond)
+  // fanins are handled by the black/already-elaborated checks.
+  enum class Mark : char { kWhite, kGrey, kBlack };
+  std::unordered_map<std::string, Mark> mark;
+
+  auto build_sop = [&](const NetNode* n) {
+    std::vector<aig::Lit> terms;
+    for (const std::string& cube : n->cubes) {
+      if (cube.size() != n->fanins.size()) {
+        throw std::runtime_error("network: cube width mismatch in '" +
+                                 n->name + "'");
+      }
+      std::vector<aig::Lit> factors;
+      for (std::size_t i = 0; i < cube.size(); ++i) {
+        if (cube[i] == '-') continue;
+        const aig::Lit f = net.at(n->fanins[i]);
+        factors.push_back(cube[i] == '1' ? f : aig::lnot(f));
+      }
+      terms.push_back(a.land_many(factors));  // empty cube = constant true
+    }
+    aig::Lit v = a.lor_many(terms);  // no cubes = constant false
+    if (n->out_value == '0') v = aig::lnot(v);
+    net[n->name] = v;
+  };
+
+  struct Frame {
+    const NetNode* node;
+    std::size_t next_fanin = 0;
+  };
+
+  auto elaborate = [&](const std::string& root_name) {
+    if (net.count(root_name)) return;
+    auto root_it = by_name.find(root_name);
+    if (root_it == by_name.end()) {
+      throw std::runtime_error("network: net '" + root_name + "' is undriven");
+    }
+    if (mark[root_name] == Mark::kBlack) return;
+
+    std::vector<Frame> stack{{root_it->second}};
+    mark[root_name] = Mark::kGrey;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_fanin < f.node->fanins.size()) {
+        const std::string& nm = f.node->fanins[f.next_fanin++];
+        if (net.count(nm)) continue;  // input, latch output, or elaborated
+        auto it = by_name.find(nm);
+        if (it == by_name.end()) {
+          throw std::runtime_error("network: net '" + nm + "' is undriven");
+        }
+        const Mark m = mark[nm];
+        if (m == Mark::kGrey) {
+          throw std::runtime_error("network: combinational cycle through '" +
+                                   nm + "'");
+        }
+        if (m == Mark::kBlack) continue;
+        mark[nm] = Mark::kGrey;
+        stack.push_back({it->second});
+        continue;
+      }
+      build_sop(f.node);
+      mark[f.node->name] = Mark::kBlack;
+      stack.pop_back();
+    }
+  };
+
+  for (const std::string& out : outputs) {
+    elaborate(out);
+    a.add_output(net.at(out), out);
+  }
+  for (const Latch& l : latches) {
+    elaborate(l.input);
+    a.add_output(net.at(l.input), l.input);  // next-state becomes a PO
+  }
+  return a;
+}
+
+}  // namespace step::io

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace step::io {
+
+/// A logic node as read from BLIF: a single-output SOP (.names block).
+/// Each cube is a string over {'0','1','-'} with one position per fanin;
+/// `out_value` is '1' for an ON-set SOP and '0' for an OFF-set SOP.
+struct NetNode {
+  std::string name;
+  std::vector<std::string> fanins;
+  std::vector<std::string> cubes;
+  char out_value = '1';
+};
+
+/// A latch (.latch block). Only the connectivity matters to this library:
+/// the paper converts sequential circuits to combinational form with ABC's
+/// `comb`, which exposes latch outputs as inputs and latch inputs as outputs.
+struct Latch {
+  std::string input;   ///< next-state function net
+  std::string output;  ///< current-state net
+  int init_value = 2;  ///< 0, 1, 2 (= don't care), 3 (= unknown)
+};
+
+/// Named netlist corresponding to one BLIF .model.
+class Network {
+ public:
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NetNode> nodes;
+  std::vector<Latch> latches;
+
+  bool is_combinational() const { return latches.empty(); }
+
+  /// Elaborates to an AIG. When `comb` is true, latches are cut: each latch
+  /// output becomes a primary input and each latch input (next-state
+  /// function) becomes a primary output — the ABC `comb` treatment the
+  /// paper applies to the sequential ISCAS'89/ITC'99 circuits.
+  /// Throws std::runtime_error on undriven nets or combinational cycles.
+  aig::Aig to_aig(bool comb = true) const;
+};
+
+}  // namespace step::io

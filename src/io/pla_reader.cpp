@@ -1,0 +1,106 @@
+#include "io/pla_reader.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace step::io {
+
+Network parse_pla(std::string_view text) {
+  int n_in = -1, n_out = -1;
+  std::vector<std::string> in_names, out_names;
+  std::vector<std::pair<std::string, std::string>> cubes;  // (in, out)
+  bool on_set = true;  // .type f / fr
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+
+    if (tok == ".i") {
+      if (!(ls >> n_in) || n_in <= 0) throw std::runtime_error("pla: bad .i");
+    } else if (tok == ".o") {
+      if (!(ls >> n_out) || n_out <= 0) throw std::runtime_error("pla: bad .o");
+    } else if (tok == ".ilb") {
+      std::string n;
+      while (ls >> n) in_names.push_back(n);
+    } else if (tok == ".ob") {
+      std::string n;
+      while (ls >> n) out_names.push_back(n);
+    } else if (tok == ".type") {
+      std::string t;
+      ls >> t;
+      if (t != "f" && t != "fr") {
+        throw std::runtime_error("pla: unsupported .type " + t);
+      }
+      on_set = true;
+    } else if (tok == ".p" || tok == ".phase" || tok == ".pair") {
+      // advisory / unsupported-but-harmless
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      throw std::runtime_error("pla: unsupported directive " + tok);
+    } else {
+      // Cube line: input part already in tok, output part follows.
+      std::string out_part;
+      if (!(ls >> out_part)) throw std::runtime_error("pla: cube missing outputs");
+      cubes.emplace_back(tok, out_part);
+    }
+  }
+  if (n_in < 0 || n_out < 0) throw std::runtime_error("pla: missing .i/.o");
+
+  Network net;
+  net.name = "pla";
+  for (int i = 0; i < n_in; ++i) {
+    net.inputs.push_back(i < static_cast<int>(in_names.size())
+                             ? in_names[i]
+                             : "in" + std::to_string(i));
+  }
+  for (int o = 0; o < n_out; ++o) {
+    net.outputs.push_back(o < static_cast<int>(out_names.size())
+                              ? out_names[o]
+                              : "out" + std::to_string(o));
+  }
+
+  for (int o = 0; o < n_out; ++o) {
+    NetNode node;
+    node.name = net.outputs[o];
+    node.fanins = net.inputs;
+    node.out_value = '1';
+    for (const auto& [in_part, out_part] : cubes) {
+      if (static_cast<int>(in_part.size()) != n_in ||
+          static_cast<int>(out_part.size()) != n_out) {
+        throw std::runtime_error("pla: cube width mismatch");
+      }
+      for (char c : in_part) {
+        if (c != '0' && c != '1' && c != '-') {
+          throw std::runtime_error("pla: bad input cube character");
+        }
+      }
+      const char oc = out_part[o];
+      if (oc == '1') {
+        node.cubes.push_back(in_part);
+      } else if (oc != '0' && oc != '~' && oc != '-') {
+        throw std::runtime_error("pla: bad output cube character");
+      }
+    }
+    (void)on_set;
+    net.nodes.push_back(std::move(node));
+  }
+  return net;
+}
+
+Network read_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("pla: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_pla(ss.str());
+}
+
+}  // namespace step::io

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/network.h"
+
+namespace step::io {
+
+/// Parses an espresso-style PLA file (the native format of the LGSYNTH
+/// two-level benchmarks the paper draws on). Supported directives:
+/// .i/.o (required), .ilb/.ob (names), .p (advisory), .type f|fr (ON-set
+/// semantics), .e/.end. Cube lines use {0,1,-} input columns and
+/// {1,0,~,-} output columns; an output is the OR of the cubes marked '1'
+/// in its column. Throws std::runtime_error on malformed input.
+Network parse_pla(std::string_view text);
+
+/// Reads and parses a PLA file from disk.
+Network read_pla_file(const std::string& path);
+
+}  // namespace step::io

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "aig/aig.h"
+
+namespace step::io {
+
+/// Emits a structural gate-level Verilog module (assign-style netlist) for
+/// a combinational AIG — the usual hand-off format towards downstream
+/// synthesis/P&R flows. Net names are sanitised to Verilog identifiers;
+/// inverters are folded into the assign expressions.
+std::string write_verilog(const aig::Aig& a, const std::string& module_name = "top");
+
+void write_verilog_file(const aig::Aig& a, const std::string& path,
+                        const std::string& module_name = "top");
+
+}  // namespace step::io

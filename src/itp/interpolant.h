@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "sat/solver.h"
+
+namespace step::itp {
+
+/// Interpolation partition tags used when adding clauses to the solver.
+constexpr int kTagA = 0;
+constexpr int kTagB = 1;
+
+/// Builds the McMillan interpolant I for an (A, B) refutation:
+///   A ⟹ I,   I ∧ B unsatisfiable,   vars(I) ⊆ vars(A) ∩ vars(B).
+///
+/// Requirements: `solver` was created with proof_logging, clauses were
+/// tagged kTagA / kTagB, and solve() (without assumptions) returned kUnsat.
+///
+/// `shared_map[v]` gives the AIG literal (in `dst`) standing for SAT
+/// variable v; it must be valid for every variable occurring in both A and
+/// B clauses (others may be aig::kLitInvalid).
+///
+/// The rules (per resolution node, replayed over the logged proof):
+///   A-leaf: OR of the clause's literals whose variable also occurs in B
+///   B-leaf: constant true
+///   resolution on pivot p: p occurs in B ? I1 ∧ I2 : I1 ∨ I2
+aig::Lit build_interpolant(const sat::Solver& solver, aig::Aig& dst,
+                           const std::vector<aig::Lit>& shared_map);
+
+}  // namespace step::itp

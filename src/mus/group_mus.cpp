@@ -1,0 +1,91 @@
+#include "mus/group_mus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace step::mus {
+
+GroupMusExtractor::GroupMusExtractor(sat::Solver& solver,
+                                     std::vector<sat::Lit> enable,
+                                     GroupMusOptions opts)
+    : solver_(solver), enable_(std::move(enable)), opts_(opts) {}
+
+GroupMusResult GroupMusExtractor::extract(const Deadline* deadline,
+                                          const std::vector<char>* initially_removed) {
+  GroupMusResult result;
+  const int n = static_cast<int>(enable_.size());
+
+  // State per group: 1 = candidate/active, 0 = removed, 2 = proven necessary.
+  std::vector<char> state(n, 1);
+  if (initially_removed != nullptr) {
+    STEP_CHECK(static_cast<int>(initially_removed->size()) == n);
+    for (int g = 0; g < n; ++g) {
+      if ((*initially_removed)[g]) state[g] = 0;
+    }
+  }
+
+  auto solve_with = [&](int excluded) -> sat::Result {
+    sat::LitVec assumptions;
+    assumptions.reserve(n);
+    for (int g = 0; g < n; ++g) {
+      const bool active = state[g] != 0 && g != excluded;
+      assumptions.push_back(active ? enable_[g] : ~enable_[g]);
+    }
+    ++result.sat_calls;
+    return solver_.solve_limited(assumptions, opts_.conflict_budget, deadline);
+  };
+
+  auto refine_from_core = [&](int excluded) {
+    if (!opts_.core_refinement) return;
+    // Keep only groups whose enable literal appears in the final conflict.
+    std::vector<char> in_core(n, 0);
+    for (sat::Lit l : solver_.conflict_core()) {
+      for (int g = 0; g < n; ++g) {
+        if (enable_[g] == l) in_core[g] = 1;
+      }
+    }
+    for (int g = 0; g < n; ++g) {
+      if (state[g] == 1 && g != excluded && !in_core[g]) state[g] = 0;
+    }
+  };
+
+  // Initial check doubles as the first refinement.
+  const sat::Result first = solve_with(-1);
+  STEP_CHECK(first != sat::Result::kSat);  // client must start from UNSAT
+  if (first == sat::Result::kUnknown) {
+    // Budget exhausted before the baseline check: return everything.
+    result.minimal = false;
+    for (int g = 0; g < n; ++g) {
+      if (state[g] != 0) result.mus.push_back(g);
+    }
+    return result;
+  }
+  refine_from_core(-1);
+
+  for (int g = 0; g < n; ++g) {
+    if (state[g] != 1) continue;  // removed by refinement or already decided
+    if (deadline != nullptr && deadline->expired()) {
+      result.minimal = false;
+      break;
+    }
+    const sat::Result r = solve_with(g);
+    if (r == sat::Result::kUnsat) {
+      state[g] = 0;  // group g is not needed
+      refine_from_core(g);
+    } else if (r == sat::Result::kSat) {
+      state[g] = 2;  // necessary
+    } else {
+      // Budget ran out: keep the group conservatively; result not minimal.
+      state[g] = 2;
+      result.minimal = false;
+    }
+  }
+
+  for (int g = 0; g < n; ++g) {
+    if (state[g] != 0) result.mus.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace step::mus

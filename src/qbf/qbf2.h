@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+#include "common/timer.h"
+#include "sat/solver.h"
+
+namespace step::qbf {
+
+/// Result status of a 2QBF query.
+enum class Qbf2Status : std::uint8_t {
+  kTrue,     ///< the quantified formula holds
+  kFalse,    ///< it does not
+  kUnknown,  ///< budget/deadline exhausted
+};
+
+struct Qbf2Result {
+  Qbf2Status status = Qbf2Status::kUnknown;
+  /// When kTrue: a witness assignment to the outer (existential) inputs,
+  /// indexed like `outer_inputs`. kUndef entries are don't-cares.
+  std::vector<sat::Lbool> outer_model;
+  int iterations = 0;  ///< CEGAR refinement rounds
+};
+
+/// Counterexample-guided solver for  ∃ outer ∀ inner . side(outer) ∧ matrix.
+///
+/// This is the abstraction-refinement algorithm of AReQS (Janota &
+/// Marques-Silva, SAT'11), the solver the paper uses for its 2QBF models:
+///  - an *abstraction* SAT solver over the outer variables proposes
+///    candidates consistent with all counterexamples seen so far;
+///  - a *verification* SAT solver checks a candidate against ¬matrix;
+///    an inner countermodel refines the abstraction with the matrix
+///    cofactored on that countermodel.
+///
+/// The matrix is an AIG cone; `outer_inputs` / `inner_inputs` partition
+/// (a subset of) its input indices. Side constraints purely over outer
+/// variables (the paper's fN and fT) are added through `abstraction()` /
+/// `outer_var()` before solve().
+///
+/// For the paper's formulation (9), validity of  ∀α,β ∃X. Φ ∨ ¬fN ∨ ¬fT
+/// is decided by giving this solver the *negation*:
+/// ∃α,β ∀X. ¬Φ ∧ fN ∧ fT; a kTrue answer hands back the counterexample
+/// (α,β) — which *is* the computed variable partition.
+struct CegarOptions {
+  /// Emit a refinement as a single clause when the cofactored matrix is a
+  /// disjunction of outer literals (always true for the Section IV
+  /// matrices). Off = always Tseitin-encode; ablation knob.
+  bool clause_fast_path = true;
+};
+
+class ExistsForallSolver {
+ public:
+  ExistsForallSolver(const aig::Aig& matrix, aig::Lit root,
+                     std::vector<std::uint32_t> outer_inputs,
+                     std::vector<std::uint32_t> inner_inputs,
+                     CegarOptions opts = {});
+
+  /// Abstraction solver handle for adding outer-only side constraints.
+  sat::Solver& abstraction() { return abstraction_; }
+  /// SAT variable (in the abstraction) of outer input position i.
+  sat::Var outer_var(std::size_t i) const { return outer_vars_[i]; }
+
+  /// Pre-seeds the abstraction with a previously discovered inner
+  /// countermodel (indexed like `inner_inputs`); lets a caller carry CEGAR
+  /// learning across a sequence of related queries (the optimum-k loop).
+  void seed_countermodel(const std::vector<sat::Lbool>& inner_assignment);
+
+  Qbf2Result solve(const Deadline* deadline = nullptr);
+
+  /// Inner countermodels discovered during solve(), indexed like
+  /// `inner_inputs`; feed them to seed_countermodel() of a later instance.
+  const std::vector<std::vector<sat::Lbool>>& countermodels() const {
+    return countermodels_;
+  }
+
+ private:
+  void refine(const std::vector<sat::Lbool>& inner_assignment);
+
+  const aig::Aig& matrix_;
+  aig::Lit root_;
+  std::vector<std::uint32_t> outer_inputs_;
+  std::vector<std::uint32_t> inner_inputs_;
+  CegarOptions opts_;
+
+  sat::Solver abstraction_;
+  std::vector<sat::Var> outer_vars_;  ///< abstraction var per outer input
+
+  sat::Solver verification_;
+  std::vector<sat::Var> ver_input_vars_;  ///< verification var per matrix input
+  std::vector<int> input_role_;  ///< -1 free, 0 outer, 1 inner, per input index
+
+  std::vector<std::vector<sat::Lbool>> countermodels_;
+};
+
+}  // namespace step::qbf

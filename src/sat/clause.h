@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+/// Reference to a clause inside the arena (index into a word array).
+using CRef = std::uint32_t;
+constexpr CRef kCRefUndef = 0xffffffffU;
+
+/// Clause header + inline literal array, stored in the arena.
+///
+/// Layout (32-bit words):
+///   word 0: size (27 bits) | learnt flag (1 bit) | unused
+///   word 1: activity (float, learnt only) or proof id (originals)
+///   word 2..: literals
+/// Every clause carries a proof id so the resolution logger can name it.
+class Clause {
+ public:
+  std::uint32_t size() const { return header_ >> 5; }
+  bool learnt() const { return (header_ & 1U) != 0; }
+
+  Lit& operator[](std::uint32_t i) { return lits_[i]; }
+  const Lit& operator[](std::uint32_t i) const { return lits_[i]; }
+
+  std::span<const Lit> lits() const { return {lits_, size()}; }
+  std::span<Lit> lits() { return {lits_, size()}; }
+
+  float activity() const { return activity_; }
+  void set_activity(float a) { activity_ = a; }
+
+  std::uint32_t proof_id() const { return proof_id_; }
+  void set_proof_id(std::uint32_t id) { proof_id_ = id; }
+
+ private:
+  friend class ClauseArena;
+  void init(std::span<const Lit> ls, bool learnt) {
+    header_ = (static_cast<std::uint32_t>(ls.size()) << 5) |
+              (learnt ? 1U : 0U);
+    activity_ = 0.0f;
+    proof_id_ = 0;
+    for (std::uint32_t i = 0; i < ls.size(); ++i) lits_[i] = ls[i];
+  }
+
+  std::uint32_t header_;
+  float activity_;
+  std::uint32_t proof_id_;
+  Lit lits_[1];  // flexible array; arena allocates the real length
+};
+
+/// Bump-pointer arena for clauses.
+///
+/// Clauses are identified by CRef word offsets, which remain stable for the
+/// lifetime of the arena (no garbage collection is performed while proof
+/// logging is enabled; the solver's reduce_db() compacts watch lists only).
+class ClauseArena {
+ public:
+  CRef alloc(std::span<const Lit> lits, bool learnt) {
+    STEP_CHECK(!lits.empty());
+    const std::size_t need = kHeaderWords + lits.size();
+    const CRef ref = static_cast<CRef>(mem_.size());
+    mem_.resize(mem_.size() + need);
+    clause_at(ref).init(lits, learnt);
+    return ref;
+  }
+
+  Clause& operator[](CRef r) { return clause_at(r); }
+  const Clause& operator[](CRef r) const {
+    return const_cast<ClauseArena*>(this)->clause_at(r);
+  }
+
+  std::size_t size_words() const { return mem_.size(); }
+
+ private:
+  static constexpr std::size_t kHeaderWords = 3;
+
+  Clause& clause_at(CRef r) {
+    return *reinterpret_cast<Clause*>(mem_.data() + r);
+  }
+
+  std::vector<std::uint32_t> mem_;
+};
+
+}  // namespace step::sat

@@ -1,0 +1,79 @@
+#include "sat/dimacs.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace step::sat {
+
+DimacsFormula parse_dimacs(std::string_view text) {
+  DimacsFormula f;
+  LitVec current;
+  std::size_t pos = 0;
+  const std::size_t n = text.size();
+
+  auto skip_ws = [&] {
+    while (pos < n && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\r' || text[pos] == '\n')) {
+      ++pos;
+    }
+  };
+  auto skip_line = [&] {
+    while (pos < n && text[pos] != '\n') ++pos;
+  };
+
+  while (true) {
+    skip_ws();
+    if (pos >= n) break;
+    const char c = text[pos];
+    if (c == 'c') {
+      skip_line();
+      continue;
+    }
+    if (c == 'p') {
+      skip_line();  // header is advisory; variables grow on demand
+      continue;
+    }
+    // Parse a signed integer.
+    bool neg = false;
+    if (c == '-') {
+      neg = true;
+      ++pos;
+    }
+    if (pos >= n || text[pos] < '0' || text[pos] > '9') {
+      throw std::runtime_error("dimacs: expected integer");
+    }
+    long v = 0;
+    while (pos < n && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + (text[pos] - '0');
+      ++pos;
+    }
+    if (v == 0) {
+      f.clauses.push_back(current);
+      current.clear();
+    } else {
+      const Var var_id = static_cast<Var>(v - 1);
+      f.num_vars = std::max(f.num_vars, static_cast<int>(v));
+      current.push_back(mk_lit(var_id, neg));
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: unterminated clause");
+  }
+  return f;
+}
+
+std::string write_dimacs(const DimacsFormula& f) {
+  std::ostringstream os;
+  os << "p cnf " << f.num_vars << ' ' << f.clauses.size() << '\n';
+  for (const LitVec& cl : f.clauses) {
+    for (Lit l : cl) {
+      os << (sign(l) ? -(var(l) + 1) : (var(l) + 1)) << ' ';
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace step::sat

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+/// A CNF formula in clause-list form, as read from DIMACS input.
+struct DimacsFormula {
+  int num_vars = 0;
+  std::vector<LitVec> clauses;
+};
+
+/// Parses DIMACS CNF text. Tolerates comment lines, a missing/inaccurate
+/// header, and clauses spanning multiple lines. Throws std::runtime_error
+/// on malformed input.
+DimacsFormula parse_dimacs(std::string_view text);
+
+/// Renders a formula back to DIMACS text (with a correct header).
+std::string write_dimacs(const DimacsFormula& f);
+
+}  // namespace step::sat

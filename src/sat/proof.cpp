@@ -1,0 +1,69 @@
+#include "sat/proof.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace step::sat {
+
+namespace {
+
+/// Set representation of a clause during replay: sorted unique literals.
+void normalize(LitVec& lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+}
+
+/// Resolve `cur` with `other` on `pivot`, in place.
+void resolve(LitVec& cur, const LitVec& other, Var pivot) {
+  const Lit pos = mk_lit(pivot, false);
+  const Lit neg = mk_lit(pivot, true);
+  cur.erase(std::remove_if(cur.begin(), cur.end(),
+                           [&](Lit l) { return l == pos || l == neg; }),
+            cur.end());
+  for (Lit l : other) {
+    if (l == pos || l == neg) continue;
+    cur.push_back(l);
+  }
+  normalize(cur);
+}
+
+}  // namespace
+
+LitVec Proof::replay_clause(ProofId id) const {
+  // Iterative replay with memoization over the sub-DAG reachable from id.
+  // Nodes are topologically ordered, so a forward sweep over the ids that
+  // are actually needed suffices.
+  std::vector<char> needed(id + 1, 0);
+  needed[id] = 1;
+  for (ProofId i = id + 1; i-- > 0;) {
+    if (!needed[i]) continue;
+    const ProofNode& n = nodes_[i];
+    if (n.is_leaf()) continue;
+    STEP_CHECK(n.start < i);
+    needed[n.start] = 1;
+    for (const ProofStep& s : n.steps) {
+      STEP_CHECK(s.antecedent < i);
+      needed[s.antecedent] = 1;
+    }
+  }
+
+  std::vector<LitVec> memo(id + 1);
+  for (ProofId i = 0; i <= id; ++i) {
+    if (!needed[i]) continue;
+    const ProofNode& n = nodes_[i];
+    if (n.is_leaf()) {
+      memo[i] = n.base_lits;
+      normalize(memo[i]);
+    } else {
+      LitVec cur = memo[n.start];
+      for (const ProofStep& s : n.steps) {
+        resolve(cur, memo[s.antecedent], s.pivot);
+      }
+      memo[i] = std::move(cur);
+    }
+  }
+  return memo[id];
+}
+
+}  // namespace step::sat

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+/// Identifier of a proof node (leaf clause or derived resolvent).
+using ProofId = std::uint32_t;
+constexpr ProofId kProofIdUndef = 0xffffffffU;
+
+/// One resolution step: resolve the running resolvent with `antecedent`
+/// on variable `pivot`.
+struct ProofStep {
+  ProofId antecedent = kProofIdUndef;
+  Var pivot = kVarUndef;
+};
+
+/// A node in the resolution proof DAG.
+///
+/// Leaves carry the clause literals as supplied by the user together with a
+/// partition `tag` (the interpolation system uses tag 0 for the A-part and
+/// tag 1 for the B-part). Derived nodes are trivial resolution chains:
+/// start from node `start` and resolve with each step's antecedent in order.
+struct ProofNode {
+  // Leaf fields.
+  int tag = -1;  ///< >= 0 for leaves; -1 for derived nodes.
+  LitVec base_lits;
+
+  // Derived fields.
+  ProofId start = kProofIdUndef;
+  std::vector<ProofStep> steps;
+
+  bool is_leaf() const { return tag >= 0; }
+};
+
+/// Resolution proof trace recorded by the solver.
+///
+/// The trace is append-only; node ids are dense and topologically ordered
+/// (every antecedent id is smaller than the derived node's id), which lets
+/// consumers replay the proof with a single forward sweep.
+class Proof {
+ public:
+  ProofId add_leaf(std::span<const Lit> lits, int tag) {
+    ProofNode n;
+    n.tag = tag;
+    n.base_lits.assign(lits.begin(), lits.end());
+    nodes_.push_back(std::move(n));
+    return static_cast<ProofId>(nodes_.size() - 1);
+  }
+
+  ProofId add_derived(ProofId start, std::vector<ProofStep> steps) {
+    ProofNode n;
+    n.start = start;
+    n.steps = std::move(steps);
+    nodes_.push_back(std::move(n));
+    return static_cast<ProofId>(nodes_.size() - 1);
+  }
+
+  const ProofNode& node(ProofId id) const { return nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Id of the derived empty clause; kProofIdUndef until the solver proves
+  /// unsatisfiability without assumptions.
+  ProofId empty_clause() const { return empty_clause_; }
+  void set_empty_clause(ProofId id) { empty_clause_ = id; }
+
+  /// Replays the resolution chain of `id` and returns the clause it derives.
+  /// Used by tests to validate that logged chains are syntactically sound,
+  /// and by the interpolation engine's debug mode.
+  LitVec replay_clause(ProofId id) const;
+
+ private:
+  std::vector<ProofNode> nodes_;
+  ProofId empty_clause_ = kProofIdUndef;
+};
+
+}  // namespace step::sat

@@ -1,0 +1,568 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace step::sat {
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 ... scaled by the restart base.
+double luby(double y, int x) {
+  int size, seq;
+  for (size = 1, seq = 0; size < x + 1; seq++, size = 2 * size + 1) {
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    seq--;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+}  // namespace
+
+Solver::Solver(SolverOptions opts) : opts_(opts) {}
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(Lbool::kUndef);
+  level_.push_back(0);
+  reason_.push_back(kCRefUndef);
+  activity_.push_back(0.0);
+  polarity_.push_back(0);
+  seen_.push_back(0);
+  present_.push_back(0);
+  seen2_.push_back(0);
+  level0_unit_id_.push_back(kProofIdUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_heap_.insert(v);
+  return v;
+}
+
+void Solver::attach_clause(CRef cr) {
+  const Clause& c = arena_[cr];
+  STEP_CHECK(c.size() >= 2);
+  watches_[index(~c[0])].push_back({cr, c[1]});
+  watches_[index(~c[1])].push_back({cr, c[0]});
+}
+
+void Solver::detach_clause(CRef cr) {
+  const Clause& c = arena_[cr];
+  auto remove_from = [&](Lit w) {
+    auto& ws = watches_[index(~w)];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cr) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        return;
+      }
+    }
+    STEP_CHECK(false && "watcher not found");
+  };
+  remove_from(c[0]);
+  remove_from(c[1]);
+}
+
+void Solver::enqueue(Lit p, CRef from) {
+  const Var v = var(p);
+  STEP_CHECK(value(p) == Lbool::kUndef);
+  assigns_[v] = mk_lbool(!sign(p));
+  level_[v] = decision_level();
+  reason_[v] = from;
+  trail_.push_back(p);
+}
+
+ProofId Solver::level0_justification(Var v) const {
+  STEP_CHECK(level_[v] == 0 && value(v) != Lbool::kUndef);
+  if (reason_[v] != kCRefUndef) return arena_[reason_[v]].proof_id();
+  STEP_CHECK(level0_unit_id_[v] != kProofIdUndef);
+  return level0_unit_id_[v];
+}
+
+void Solver::resolve_level0(LitVec& pending, std::vector<ProofStep>& steps) {
+  if (pending.empty()) return;
+  int n_marked = 0;
+  for (Lit l : pending) {
+    const Var v = var(l);
+    STEP_CHECK(level_[v] == 0 && value(l) == Lbool::kFalse);
+    if (!seen2_[v]) {
+      seen2_[v] = 1;
+      ++n_marked;
+    }
+  }
+  const int end = decision_level() > 0 ? trail_lim_[0]
+                                       : static_cast<int>(trail_.size());
+  for (int i = end - 1; i >= 0 && n_marked > 0; --i) {
+    const Var v = var(trail_[i]);
+    if (!seen2_[v]) continue;
+    seen2_[v] = 0;
+    --n_marked;
+    steps.push_back({level0_justification(v), v});
+    if (reason_[v] != kCRefUndef) {
+      const Clause& c = arena_[reason_[v]];
+      for (std::uint32_t k = 1; k < c.size(); ++k) {
+        const Var vq = var(c[k]);
+        if (!seen2_[vq]) {
+          seen2_[vq] = 1;
+          ++n_marked;
+        }
+      }
+    }
+  }
+  STEP_CHECK(n_marked == 0);
+  pending.clear();
+}
+
+bool Solver::add_clause(std::span<const Lit> lits_in, int proof_tag) {
+  STEP_CHECK(decision_level() == 0);
+  if (!ok_) return false;
+
+  LitVec lits(lits_in.begin(), lits_in.end());
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    STEP_CHECK(var(lits[i]) < num_vars() && var(lits[i]) >= 0);
+    if (var(lits[i]) == var(lits[i + 1])) return true;  // tautology
+  }
+  if (!lits.empty()) {
+    STEP_CHECK(var(lits.back()) < num_vars() && var(lits.back()) >= 0);
+  }
+  for (Lit l : lits) {
+    if (value(l) == Lbool::kTrue) return true;  // already satisfied forever
+  }
+
+  const bool proof_on = opts_.proof_logging;
+  ProofId pid = kProofIdUndef;
+  if (proof_on) pid = proof_.add_leaf(lits, proof_tag);
+
+  // Strip literals that are false at level 0, logging the resolutions.
+  LitVec falses, kept;
+  for (Lit l : lits) {
+    (value(l) == Lbool::kFalse ? falses : kept).push_back(l);
+  }
+  if (proof_on && !falses.empty()) {
+    std::vector<ProofStep> steps;
+    resolve_level0(falses, steps);
+    pid = proof_.add_derived(pid, std::move(steps));
+  }
+
+  if (kept.empty()) {
+    ok_ = false;
+    if (proof_on) proof_.set_empty_clause(pid);
+    return false;
+  }
+  if (kept.size() == 1) {
+    enqueue(kept[0], kCRefUndef);
+    if (proof_on) level0_unit_id_[var(kept[0])] = pid;
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      if (proof_on) {
+        const Clause& c = arena_[confl];
+        LitVec cl(c.lits().begin(), c.lits().end());
+        std::vector<ProofStep> steps;
+        resolve_level0(cl, steps);
+        proof_.set_empty_clause(
+            proof_.add_derived(c.proof_id(), std::move(steps)));
+      }
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const CRef cr = arena_.alloc(kept, /*learnt=*/false);
+  if (proof_on) arena_[cr].set_proof_id(pid);
+  clauses_.push_back(cr);
+  attach_clause(cr);
+  return true;
+}
+
+CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    auto& ws = watches_[index(p)];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i];
+      // Blocker short-circuit: clause already satisfied.
+      if (value(w.blocker) == Lbool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      const CRef cr = w.cref;
+      Clause& c = arena_[cr];
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) {
+        c[0] = c[1];
+        c[1] = false_lit;
+      }
+      ++i;
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == Lbool::kTrue) {
+        ws[j++] = {cr, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != Lbool::kFalse) {
+          c[1] = c[k];
+          c[k] = false_lit;
+          watches_[index(~c[1])].push_back({cr, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = {cr, first};
+      if (value(first) == Lbool::kFalse) {
+        confl = cr;
+        qhead_ = static_cast<int>(trail_.size());
+        while (i < n) ws[j++] = ws[i++];
+      } else {
+        enqueue(first, cr);
+        ++stats_.propagations;
+      }
+    }
+    ws.resize(j);
+  }
+  return confl;
+}
+
+void Solver::cancel_until(int lvl) {
+  if (decision_level() <= lvl) return;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_lim_[lvl]; --i) {
+    const Var v = var(trail_[i]);
+    if (opts_.phase_saving) polarity_[v] = (assigns_[v] == Lbool::kTrue) ? 1 : 0;
+    assigns_[v] = Lbool::kUndef;
+    reason_[v] = kCRefUndef;
+    order_heap_.insert(v);
+  }
+  trail_.resize(trail_lim_[lvl]);
+  trail_lim_.resize(lvl);
+  qhead_ = static_cast<int>(trail_.size());
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_heap_.empty()) {
+    const Var v = order_heap_.remove_max();
+    if (value(v) == Lbool::kUndef) {
+      return mk_lit(v, polarity_[v] == 0);
+    }
+  }
+  return kLitUndef;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.increased(v);
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.set_activity(c.activity() + static_cast<float>(cla_inc_));
+  if (c.activity() > 1e20f) {
+    for (CRef cr : learnts_) {
+      Clause& lc = arena_[cr];
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+bool Solver::lit_redundant(Lit l, std::vector<ProofStep>& steps,
+                           LitVec& dropped0, LitVec& to_clear) {
+  const Var v = var(l);
+  const CRef r = reason_[v];
+  if (r == kCRefUndef) return false;
+  const Clause& c = arena_[r];
+  // c[0] is the literal the clause propagated, i.e. ~l.
+  for (std::uint32_t k = 1; k < c.size(); ++k) {
+    const Var vq = var(c[k]);
+    if (level_[vq] == 0) continue;
+    if (!present_[vq]) return false;
+  }
+  if (opts_.proof_logging) {
+    steps.push_back({c.proof_id(), v});
+    for (std::uint32_t k = 1; k < c.size(); ++k) {
+      const Lit q = c[k];
+      const Var vq = var(q);
+      if (level_[vq] == 0 && !seen_[vq]) {
+        seen_[vq] = 1;
+        to_clear.push_back(q);
+        dropped0.push_back(q);
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze(CRef confl, LitVec& out_learnt, int& out_btlevel,
+                     ProofId& out_start, std::vector<ProofStep>& out_steps,
+                     LitVec& dropped0) {
+  const bool proof_on = opts_.proof_logging;
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // slot for the asserting (UIP) literal
+  out_steps.clear();
+  dropped0.clear();
+  LitVec to_clear;  // literals whose seen_ flag must be reset at the end
+
+  int path_c = 0;
+  Lit p = kLitUndef;
+  int idx = static_cast<int>(trail_.size()) - 1;
+
+  do {
+    STEP_CHECK(confl != kCRefUndef);
+    Clause& c = arena_[confl];
+    if (proof_on) {
+      if (p == kLitUndef) {
+        out_start = c.proof_id();
+      } else {
+        out_steps.push_back({c.proof_id(), var(p)});
+      }
+    }
+    if (c.learnt()) bump_clause(c);
+    for (std::uint32_t jj = (p == kLitUndef) ? 0 : 1; jj < c.size(); ++jj) {
+      const Lit q = c[jj];
+      const Var v = var(q);
+      if (seen_[v]) continue;
+      if (level_[v] == 0) {
+        if (proof_on) {
+          seen_[v] = 1;
+          to_clear.push_back(q);
+          dropped0.push_back(q);
+        }
+        continue;
+      }
+      seen_[v] = 1;
+      to_clear.push_back(q);
+      bump_var(v);
+      if (level_[v] >= decision_level()) {
+        ++path_c;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Select the next literal of the current level to resolve on.
+    while (!seen_[var(trail_[idx--])]) {
+    }
+    p = trail_[idx + 1];
+    confl = reason_[var(p)];
+    seen_[var(p)] = 0;
+    --path_c;
+  } while (path_c > 0);
+  out_learnt[0] = ~p;
+
+  // Basic (non-recursive) learnt clause minimization. `present_` tracks the
+  // literals still syntactically in the clause so the logged resolution
+  // chain reproduces the final clause exactly.
+  if (opts_.minimize_learnt) {
+    for (Lit l : out_learnt) present_[var(l)] = 1;
+    std::size_t i, j;
+    for (i = j = 1; i < out_learnt.size(); ++i) {
+      const Lit l = out_learnt[i];
+      if (lit_redundant(l, out_steps, dropped0, to_clear)) {
+        present_[var(l)] = 0;
+      } else {
+        out_learnt[j++] = l;
+      }
+    }
+    out_learnt.resize(j);
+    for (Lit l : out_learnt) present_[var(l)] = 0;
+  }
+
+  // Find the backtrack level and place its literal at index 1.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k) {
+      if (level_[var(out_learnt[k])] > level_[var(out_learnt[max_i])]) max_i = k;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[var(out_learnt[1])];
+  }
+
+  for (Lit l : to_clear) seen_[var(l)] = 0;
+  seen_[var(out_learnt[0])] = 0;
+}
+
+void Solver::analyze_final(Lit p, LitVec& out_core) {
+  // p is the failing assumption (currently false). The core is a subset of
+  // assumptions, in assumed polarity, inconsistent with the clauses.
+  out_core.clear();
+  out_core.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[var(p)] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_lim_[0]; --i) {
+    const Var x = var(trail_[i]);
+    if (!seen_[x]) continue;
+    if (reason_[x] == kCRefUndef) {
+      STEP_CHECK(level_[x] > 0);
+      out_core.push_back(trail_[i]);
+    } else {
+      const Clause& c = arena_[reason_[x]];
+      for (std::uint32_t k = 1; k < c.size(); ++k) {
+        if (level_[var(c[k])] > 0) seen_[var(c[k])] = 1;
+      }
+    }
+    seen_[x] = 0;
+  }
+  seen_[var(p)] = 0;
+}
+
+void Solver::reduce_db() {
+  STEP_CHECK(!opts_.proof_logging);
+  ++stats_.db_reductions;
+  // Keep the most active half; never remove clauses locked as reasons.
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    return arena_[a].activity() < arena_[b].activity();
+  });
+  auto locked = [&](CRef cr) {
+    const Clause& c = arena_[cr];
+    return reason_[var(c[0])] == cr && value(c[0]) == Lbool::kTrue;
+  };
+  std::size_t i, j;
+  const std::size_t half = learnts_.size() / 2;
+  for (i = j = 0; i < learnts_.size(); ++i) {
+    if (i < half && !locked(learnts_[i])) {
+      detach_clause(learnts_[i]);
+    } else {
+      learnts_[j++] = learnts_[i];
+    }
+  }
+  learnts_.resize(j);
+}
+
+Result Solver::search(std::int64_t nof_conflicts, const Deadline* deadline) {
+  int conflict_c = 0;
+  LitVec learnt, dropped0;
+  std::vector<ProofStep> steps;
+
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      ++stats_.conflicts;
+      ++conflict_c;
+      if (decision_level() == 0) {
+        if (opts_.proof_logging) {
+          const Clause& c = arena_[confl];
+          LitVec cl(c.lits().begin(), c.lits().end());
+          std::vector<ProofStep> fsteps;
+          resolve_level0(cl, fsteps);
+          proof_.set_empty_clause(
+              proof_.add_derived(c.proof_id(), std::move(fsteps)));
+        }
+        ok_ = false;
+        return Result::kUnsat;
+      }
+
+      int btlevel = 0;
+      ProofId start = kProofIdUndef;
+      analyze(confl, learnt, btlevel, start, steps, dropped0);
+      ProofId pid = kProofIdUndef;
+      if (opts_.proof_logging) {
+        if (!dropped0.empty()) resolve_level0(dropped0, steps);
+        pid = proof_.add_derived(start, steps);
+      }
+      cancel_until(btlevel);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kCRefUndef);
+        if (opts_.proof_logging) level0_unit_id_[var(learnt[0])] = pid;
+      } else {
+        const CRef cr = arena_.alloc(learnt, /*learnt=*/true);
+        Clause& c = arena_[cr];
+        if (opts_.proof_logging) c.set_proof_id(pid);
+        learnts_.push_back(cr);
+        attach_clause(cr);
+        bump_clause(c);
+        enqueue(learnt[0], cr);
+      }
+      ++stats_.learnt;
+      decay_var_activity();
+      decay_clause_activity();
+
+      if ((conflict_c & 0xf) == 0 && deadline && deadline->expired()) {
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+    } else {
+      if (nof_conflicts >= 0 && conflict_c >= nof_conflicts) {
+        ++stats_.restarts;
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+      if (!opts_.proof_logging &&
+          static_cast<double>(learnts_.size()) - trail_.size() >= max_learnts_) {
+        reduce_db();
+      }
+
+      Lit next = kLitUndef;
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        const Lit a = assumptions_[decision_level()];
+        if (value(a) == Lbool::kTrue) {
+          new_decision_level();  // dummy level keeps the invariant simple
+        } else if (value(a) == Lbool::kFalse) {
+          analyze_final(a, conflict_core_);
+          return Result::kUnsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == kLitUndef) {
+        next = pick_branch_lit();
+        if (next == kLitUndef) {
+          model_.assign(assigns_.begin(), assigns_.end());
+          return Result::kSat;
+        }
+        ++stats_.decisions;
+      }
+      new_decision_level();
+      enqueue(next, kCRefUndef);
+    }
+  }
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+  return solve_limited(assumptions, -1, nullptr);
+}
+
+Result Solver::solve_limited(std::span<const Lit> assumptions,
+                             std::int64_t conflict_budget,
+                             const Deadline* deadline) {
+  conflict_core_.clear();
+  if (!ok_) return Result::kUnsat;
+  if (deadline != nullptr && deadline->expired()) return Result::kUnknown;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+
+  max_learnts_ = std::max(opts_.max_learnts_floor,
+                          static_cast<double>(clauses_.size()) * 2.0);
+  const std::uint64_t conflicts_at_start = stats_.conflicts;
+  Result status = Result::kUnknown;
+  for (int curr_restarts = 0; status == Result::kUnknown; ++curr_restarts) {
+    std::int64_t budget =
+        static_cast<std::int64_t>(luby(2.0, curr_restarts) * opts_.restart_base);
+    if (conflict_budget >= 0) {
+      const std::int64_t used =
+          static_cast<std::int64_t>(stats_.conflicts - conflicts_at_start);
+      if (used >= conflict_budget) break;
+      budget = std::min(budget, conflict_budget - used);
+    }
+    status = search(budget, deadline);
+    if (deadline && deadline->expired()) break;
+  }
+  cancel_until(0);
+  return status;
+}
+
+}  // namespace step::sat

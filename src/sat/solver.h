@@ -1,0 +1,187 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/timer.h"
+#include "sat/clause.h"
+#include "sat/heap.h"
+#include "sat/proof.h"
+#include "sat/types.h"
+
+namespace step::sat {
+
+/// Tuning knobs and feature switches.
+struct SolverOptions {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int restart_base = 100;        ///< Luby restart unit, in conflicts.
+  bool phase_saving = true;
+  bool minimize_learnt = true;   ///< basic (non-recursive) minimization
+  /// Floor for the learnt-clause budget before reduce_db() fires
+  /// (the effective limit also scales with the problem size).
+  double max_learnts_floor = 4000.0;
+  /// Record the resolution proof. Implies that learnt clauses are never
+  /// deleted (proof nodes must stay resolvable), so enable only for the
+  /// interpolation queries, which are per-cone and small.
+  bool proof_logging = false;
+};
+
+/// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-literal watches, first-UIP learning, VSIDS decisions, phase saving,
+/// Luby restarts, incremental solving under assumptions with final-conflict
+/// cores, and optional resolution-proof logging for interpolation.
+///
+/// Typical use:
+///   Solver s;
+///   Var a = s.new_var(), b = s.new_var();
+///   s.add_clause({mk_lit(a), mk_lit(b)});
+///   Result r = s.solve();
+///   if (r == Result::kSat) ... s.model_value(mk_lit(a)) ...
+class Solver {
+ public:
+  explicit Solver(SolverOptions opts = {});
+
+  // ----- problem construction --------------------------------------------
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. `proof_tag` labels the proof leaf (interpolation uses
+  /// 0 = A-part, 1 = B-part; irrelevant when proof logging is off).
+  /// Returns false iff the solver is already in an unsatisfiable state.
+  bool add_clause(std::span<const Lit> lits, int proof_tag = 0);
+  bool add_clause(std::initializer_list<Lit> lits, int proof_tag = 0) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()), proof_tag);
+  }
+
+  /// False once unsatisfiability has been established at level 0.
+  bool is_ok() const { return ok_; }
+
+  // ----- solving -----------------------------------------------------------
+  Result solve() { return solve(std::span<const Lit>{}); }
+  Result solve(std::span<const Lit> assumptions);
+  /// Budgeted solve: stops with kUnknown when the conflict budget
+  /// (negative = unlimited) or the deadline runs out.
+  Result solve_limited(std::span<const Lit> assumptions,
+                       std::int64_t conflict_budget = -1,
+                       const Deadline* deadline = nullptr);
+
+  // ----- results ------------------------------------------------------------
+  /// Model access after kSat.
+  Lbool model_value(Lit l) const {
+    Lbool v = model_[var(l)];
+    return v ^ sign(l);
+  }
+  Lbool model_value(Var v) const { return model_[v]; }
+
+  /// After kUnsat under assumptions: a subset of the assumptions whose
+  /// conjunction is already inconsistent with the clauses (the "core").
+  /// Literals appear in their assumed polarity.
+  const LitVec& conflict_core() const { return conflict_core_; }
+
+  /// Resolution proof (only populated with proof_logging = true).
+  const Proof& proof() const { return proof_; }
+
+  // ----- heuristics / hints ---------------------------------------------------
+  /// Preferred phase when the variable is picked as a decision.
+  void set_polarity_hint(Var v, bool value) { polarity_[v] = value ? 1 : 0; }
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt = 0;
+    std::uint64_t db_reductions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // Internal machinery.
+  Lbool value(Lit l) const { return assigns_[var(l)] ^ sign(l); }
+  Lbool value(Var v) const { return assigns_[v]; }
+  int level(Var v) const { return level_[v]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void attach_clause(CRef cr);
+  void detach_clause(CRef cr);
+  void enqueue(Lit p, CRef from);
+  CRef propagate();
+  void cancel_until(int lvl);
+  Lit pick_branch_lit();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  void analyze(CRef confl, LitVec& out_learnt, int& out_btlevel,
+               ProofId& out_start, std::vector<ProofStep>& out_steps,
+               LitVec& dropped_level0);
+  void analyze_final(Lit p, LitVec& out_core);
+  bool lit_redundant(Lit l, std::vector<ProofStep>& steps, LitVec& dropped0,
+                     LitVec& to_clear);
+
+  Result search(std::int64_t nof_conflicts, const Deadline* deadline);
+
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= opts_.var_decay; }
+  void bump_clause(Clause& c);
+  void decay_clause_activity() { cla_inc_ /= opts_.clause_decay; }
+  void reduce_db();
+
+  /// Proof id justifying the level-0 assignment of v.
+  ProofId level0_justification(Var v) const;
+  /// Removes all literals of `lits` that are false at level 0, appending
+  /// the corresponding resolution steps. Requires proof logging.
+  void resolve_level0(LitVec& lits, std::vector<ProofStep>& steps);
+
+  // Configuration.
+  SolverOptions opts_;
+
+  // Clause database.
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;  ///< problem clauses
+  std::vector<CRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal
+
+  // Assignment.
+  std::vector<Lbool> assigns_;
+  std::vector<int> level_;
+  std::vector<CRef> reason_;
+  LitVec trail_;
+  std::vector<int> trail_lim_;
+  LitVec assumptions_;
+  int qhead_ = 0;
+  bool ok_ = true;
+
+  // Decision heuristics.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  VarOrderHeap order_heap_{activity_};
+  std::vector<char> polarity_;
+
+  // Learning temporaries.
+  std::vector<char> seen_;
+  std::vector<char> present_;  ///< literals currently in the learnt clause
+  std::vector<char> seen2_;    ///< marks for level-0 resolution chains
+
+  // Results.
+  std::vector<Lbool> model_;
+  LitVec conflict_core_;
+
+  // Proof.
+  Proof proof_;
+  std::vector<ProofId> level0_unit_id_;  ///< per var; for reason-less units
+
+  // Learnt DB management.
+  double max_learnts_ = 0.0;
+
+  Stats stats_;
+};
+
+}  // namespace step::sat

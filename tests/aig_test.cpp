@@ -1,0 +1,216 @@
+#include "aig/aig.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/ops.h"
+#include "aig/simulate.h"
+#include "aig/support.h"
+#include "common/rng.h"
+
+namespace step::aig {
+namespace {
+
+// ---------- construction / strashing -----------------------------------------
+
+TEST(AigBuild, ConstantsFold) {
+  Aig a;
+  const Lit x = a.add_input();
+  EXPECT_EQ(a.land(kLitFalse, x), kLitFalse);
+  EXPECT_EQ(a.land(kLitTrue, x), x);
+  EXPECT_EQ(a.land(x, x), x);
+  EXPECT_EQ(a.land(x, lnot(x)), kLitFalse);
+  EXPECT_EQ(a.num_ands(), 0u);
+}
+
+TEST(AigBuild, StructuralHashingSharesNodes) {
+  Aig a;
+  const Lit x = a.add_input();
+  const Lit y = a.add_input();
+  const Lit g1 = a.land(x, y);
+  const Lit g2 = a.land(y, x);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(a.num_ands(), 1u);
+}
+
+TEST(AigBuild, OrAndXorSemantics) {
+  Aig a;
+  const Lit x = a.add_input();
+  const Lit y = a.add_input();
+  const Lit o = a.lor(x, y);
+  const Lit xo = a.lxor(x, y);
+  const Lit m = a.lmux(x, y, lnot(y));  // x ? y : ¬y == xnor(x,y)
+  const std::vector<std::uint64_t> in{0b0101, 0b0011};
+  EXPECT_EQ(simulate_cone(a, o, in) & 0xf, 0b0111u);
+  EXPECT_EQ(simulate_cone(a, xo, in) & 0xf, 0b0110u);
+  EXPECT_EQ(simulate_cone(a, m, in) & 0xf, 0b1001u);
+}
+
+TEST(AigBuild, MuxTruthTable) {
+  Aig a;
+  const Lit s = a.add_input();
+  const Lit t = a.add_input();
+  const Lit e = a.add_input();
+  const Lit m = a.lmux(s, t, e);
+  const std::vector<std::uint32_t> support{0, 1, 2};
+  const auto tt = truth_table(a, m, support);
+  for (int row = 0; row < 8; ++row) {
+    const bool sv = (row & 1) != 0, tv = (row & 2) != 0, ev = (row & 4) != 0;
+    EXPECT_EQ(tt_bit(tt, row), sv ? tv : ev) << "row " << row;
+  }
+}
+
+TEST(AigBuild, ManyInputOps) {
+  Aig a;
+  std::vector<Lit> xs;
+  for (int i = 0; i < 7; ++i) xs.push_back(a.add_input());
+  const Lit all = a.land_many(xs);
+  const Lit any = a.lor_many(xs);
+  const Lit par = a.lxor_many(xs);
+  std::vector<std::uint32_t> support;
+  for (int i = 0; i < 7; ++i) support.push_back(i);
+  const auto t_all = truth_table(a, all, support);
+  const auto t_any = truth_table(a, any, support);
+  const auto t_par = truth_table(a, par, support);
+  for (int row = 0; row < 128; ++row) {
+    EXPECT_EQ(tt_bit(t_all, row), row == 127);
+    EXPECT_EQ(tt_bit(t_any, row), row != 0);
+    EXPECT_EQ(tt_bit(t_par, row), (__builtin_popcount(row) & 1) != 0);
+  }
+}
+
+TEST(AigBuild, EmptyManyOps) {
+  Aig a;
+  EXPECT_EQ(a.land_many({}), kLitTrue);
+  EXPECT_EQ(a.lor_many({}), kLitFalse);
+  EXPECT_EQ(a.lxor_many({}), kLitFalse);
+}
+
+// ---------- cone copy / cofactor ----------------------------------------------
+
+TEST(AigOps, CopyConePreservesFunction) {
+  Rng rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    Aig src;
+    std::vector<Lit> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(src.add_input());
+    for (int g = 0; g < 30; ++g) {
+      const Lit f0 = pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      const Lit f1 = pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      pool.push_back(src.land(f0, f1));
+    }
+    const Lit root = pool.back() ^ (rng.next_bool() ? 1u : 0u);
+
+    Aig dst;
+    std::vector<Lit> map;
+    for (int i = 0; i < 5; ++i) map.push_back(dst.add_input());
+    const Lit croot = copy_cone(src, root, dst, map);
+
+    std::vector<std::uint64_t> stim(5);
+    for (auto& w : stim) w = rng.next();
+    EXPECT_EQ(simulate_cone(src, root, stim), simulate_cone(dst, croot, stim));
+  }
+}
+
+TEST(AigOps, CofactorFixesInputs) {
+  Aig src;
+  const Lit x = src.add_input("x");
+  const Lit y = src.add_input("y");
+  const Lit z = src.add_input("z");
+  const Lit f = src.lor(src.land(x, y), src.land(lnot(x), z));  // mux(x,y,z)
+
+  Aig dst;
+  std::vector<Lit> free_map{kLitInvalid, dst.add_input("y"), dst.add_input("z")};
+  // x <- 1: f becomes y.
+  const Lit f1 = cofactor(src, f, dst, {1, -1, -1}, free_map);
+  EXPECT_EQ(f1, free_map[1]);
+  // x <- 0: f becomes z.
+  const Lit f0 = cofactor(src, f, dst, {0, -1, -1}, free_map);
+  EXPECT_EQ(f0, free_map[2]);
+}
+
+TEST(AigOps, CofactorToConstant) {
+  Aig src;
+  const Lit x = src.add_input();
+  const Lit y = src.add_input();
+  const Lit f = src.land(x, y);
+  Aig dst;
+  const Lit yd = dst.add_input();
+  const Lit c = cofactor(src, f, dst, {0, -1}, {kLitInvalid, yd});
+  EXPECT_EQ(c, kLitFalse);
+  const Lit c1 = cofactor(src, f, dst, {1, -1}, {kLitInvalid, yd});
+  EXPECT_EQ(c1, yd);
+}
+
+TEST(AigOps, ExtractConeCreatesMinimalInputs) {
+  Aig src;
+  const Lit x = src.add_input("x");
+  (void)src.add_input("unused");
+  const Lit z = src.add_input("z");
+  const Lit f = src.land(x, lnot(z));
+  src.add_output(f, "f");
+
+  Aig dst;
+  std::vector<std::uint32_t> used;
+  std::vector<Lit> created;
+  const Lit r = extract_cone(src, f, dst, used, created);
+  EXPECT_EQ(dst.num_inputs(), 2u);
+  EXPECT_EQ(used, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(dst.input_name(0), "x");
+  EXPECT_EQ(dst.input_name(1), "z");
+  const std::vector<std::uint64_t> stim{0b0101, 0b0011};
+  EXPECT_EQ(simulate_cone(dst, r, stim) & 0xf, 0b0101u & ~0b0011u & 0xf);
+}
+
+// ---------- support ------------------------------------------------------------
+
+TEST(AigSupport, StructuralSupportOfCone) {
+  Aig a;
+  const Lit x = a.add_input();
+  (void)a.add_input();
+  const Lit z = a.add_input();
+  const Lit f = a.lor(x, z);
+  EXPECT_EQ(structural_support(a, f), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_TRUE(structural_support(a, kLitTrue).empty());
+}
+
+TEST(AigSupport, FunctionalTighterThanStructural) {
+  Aig a;
+  const Lit x = a.add_input();
+  const Lit y = a.add_input();
+  // f = (x & y) | (x & !y) == x: y is structurally but not semantically in.
+  const Lit f = a.lor(a.land(x, y), a.land(x, lnot(y)));
+  EXPECT_EQ(structural_support(a, f), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(functional_support(a, f), (std::vector<std::uint32_t>{0}));
+}
+
+// ---------- simulation ----------------------------------------------------------
+
+TEST(AigSim, OutputsFollowDrivers) {
+  Aig a;
+  const Lit x = a.add_input();
+  const Lit y = a.add_input();
+  a.add_output(a.land(x, y), "and");
+  a.add_output(lnot(a.land(x, y)), "nand");
+  const auto out = simulate(a, {0b1100, 0b1010});
+  EXPECT_EQ(out[0] & 0xf, 0b1000u);
+  EXPECT_EQ(out[1] & 0xf, 0b0111u);
+}
+
+TEST(AigSim, TruthTableWideSupport) {
+  // 8-input AND: single 1 at the top row of a 256-row table.
+  Aig a;
+  std::vector<Lit> xs;
+  std::vector<std::uint32_t> support;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(a.add_input());
+    support.push_back(i);
+  }
+  const auto tt = truth_table(a, a.land_many(xs), support);
+  ASSERT_EQ(tt.size(), tt_words(8));
+  for (int row = 0; row < 256; ++row) {
+    EXPECT_EQ(tt_bit(tt, row), row == 255);
+  }
+}
+
+}  // namespace
+}  // namespace step::aig

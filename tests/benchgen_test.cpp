@@ -1,0 +1,224 @@
+#include "benchgen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "benchgen/suite.h"
+#include "core/relaxation.h"
+
+namespace step::benchgen {
+namespace {
+
+std::uint64_t out_bits(const aig::Aig& a, std::uint64_t input_rows,
+                       std::uint32_t output) {
+  // Drives each input with one bit per "row" packed in a word per input;
+  // here: one scenario only (scalar 0/1 inputs broadcast).
+  std::vector<std::uint64_t> stim(a.num_inputs());
+  for (std::uint32_t i = 0; i < a.num_inputs(); ++i) {
+    stim[i] = ((input_rows >> i) & 1ULL) ? ~0ULL : 0;
+  }
+  return aig::simulate(a, stim)[output] & 1ULL;
+}
+
+TEST(Generators, RippleAdderAddsExhaustively) {
+  const int n = 4;
+  const aig::Aig add = ripple_adder(n);
+  ASSERT_EQ(add.num_inputs(), 2u * n + 1);
+  ASSERT_EQ(add.num_outputs(), static_cast<std::uint32_t>(n + 1));
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const std::uint64_t rows =
+            static_cast<std::uint64_t>(a) |
+            (static_cast<std::uint64_t>(b) << n) |
+            (static_cast<std::uint64_t>(cin) << (2 * n));
+        int sum = 0;
+        for (int i = 0; i <= n; ++i) {
+          sum |= static_cast<int>(out_bits(add, rows, i)) << i;
+        }
+        EXPECT_EQ(sum, a + b + cin);
+      }
+    }
+  }
+}
+
+TEST(Generators, CarrySelectMatchesRipple) {
+  const aig::Aig r = ripple_adder(6);
+  const aig::Aig c = carry_select_adder(6, 2);
+  ASSERT_EQ(r.num_inputs(), c.num_inputs());
+  ASSERT_EQ(r.num_outputs(), c.num_outputs());
+  std::vector<std::uint64_t> stim(r.num_inputs());
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto& w : stim) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = x;
+  }
+  EXPECT_EQ(aig::simulate(r, stim), aig::simulate(c, stim));
+}
+
+TEST(Generators, MultiplierMultipliesExhaustively) {
+  const int n = 3;
+  const aig::Aig mul = array_multiplier(n);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      const std::uint64_t rows = static_cast<std::uint64_t>(a) |
+                                 (static_cast<std::uint64_t>(b) << n);
+      int p = 0;
+      for (int i = 0; i < 2 * n; ++i) {
+        p |= static_cast<int>(out_bits(mul, rows, i)) << i;
+      }
+      EXPECT_EQ(p, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Generators, ComparatorFlags) {
+  const int n = 4;
+  const aig::Aig cmp = comparator(n);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      const std::uint64_t rows = static_cast<std::uint64_t>(a) |
+                                 (static_cast<std::uint64_t>(b) << n);
+      EXPECT_EQ(out_bits(cmp, rows, 0), static_cast<std::uint64_t>(a == b));
+      EXPECT_EQ(out_bits(cmp, rows, 1), static_cast<std::uint64_t>(a < b));
+      EXPECT_EQ(out_bits(cmp, rows, 2), static_cast<std::uint64_t>(a > b));
+    }
+  }
+}
+
+TEST(Generators, PriorityEncoderOneHot) {
+  const int n = 6;
+  const aig::Aig pri = priority_encoder(n);
+  for (int req = 0; req < 64; ++req) {
+    int grants = 0;
+    for (int i = 0; i < n; ++i) {
+      grants |= static_cast<int>(out_bits(pri, req, i)) << i;
+    }
+    if (req == 0) {
+      EXPECT_EQ(grants, 0);
+      EXPECT_EQ(out_bits(pri, req, n), 0u);  // valid
+    } else {
+      EXPECT_EQ(grants, req & -req);  // lowest set bit wins
+      EXPECT_EQ(out_bits(pri, req, n), 1u);
+    }
+  }
+}
+
+TEST(Generators, MajorityCountsVotes) {
+  const aig::Aig maj = majority(5);
+  for (int m = 0; m < 32; ++m) {
+    EXPECT_EQ(out_bits(maj, m, 0),
+              static_cast<std::uint64_t>(__builtin_popcount(m) >= 3));
+  }
+}
+
+TEST(Generators, BarrelRotatorRotates) {
+  const int n = 8;
+  const aig::Aig rot = barrel_rotator(n);
+  for (int data = 0; data < 256; data += 37) {
+    for (int amt = 0; amt < n; ++amt) {
+      const std::uint64_t rows = static_cast<std::uint64_t>(data) |
+                                 (static_cast<std::uint64_t>(amt) << n);
+      int out = 0;
+      for (int i = 0; i < n; ++i) {
+        out |= static_cast<int>(out_bits(rot, rows, i)) << i;
+      }
+      const int expect = ((data >> amt) | (data << (n - amt))) & 0xff;
+      EXPECT_EQ(out, amt == 0 ? data : expect) << "data=" << data << " amt=" << amt;
+    }
+  }
+}
+
+TEST(Generators, CounterIncrements) {
+  const int n = 5;
+  const aig::Aig cnt = counter_next(n);
+  for (int q = 0; q < 32; ++q) {
+    for (int en = 0; en < 2; ++en) {
+      const std::uint64_t rows = static_cast<std::uint64_t>(q) |
+                                 (static_cast<std::uint64_t>(en) << n);
+      int next = 0;
+      for (int i = 0; i < n; ++i) {
+        next |= static_cast<int>(out_bits(cnt, rows, i)) << i;
+      }
+      EXPECT_EQ(next, en ? (q + 1) % 32 : q);
+      EXPECT_EQ(out_bits(cnt, rows, n),
+                static_cast<std::uint64_t>(en == 1 && q == 31));
+    }
+  }
+}
+
+TEST(Generators, GrayNextIsGrayIncrement) {
+  const int n = 4;
+  const aig::Aig g = gray_next(n);
+  auto to_gray = [](int b) { return b ^ (b >> 1); };
+  for (int b = 0; b < 16; ++b) {
+    const int cur = to_gray(b);
+    const int expect = to_gray((b + 1) % 16);
+    int next = 0;
+    for (int i = 0; i < n; ++i) {
+      next |= static_cast<int>(out_bits(g, cur, i)) << i;
+    }
+    EXPECT_EQ(next, expect) << "b=" << b;
+  }
+}
+
+TEST(Generators, LfsrShiftsAndFeedsBack) {
+  const aig::Aig l = lfsr_next(5, 0b10010);
+  for (int q : {1, 7, 19, 31}) {
+    int next = 0;
+    for (int i = 0; i < 5; ++i) {
+      next |= static_cast<int>(out_bits(l, q, i)) << i;
+    }
+    const int fb = (__builtin_popcount(q & 0b10010) & 1);
+    const int expect = ((q << 1) & 0b11110) | fb;
+    EXPECT_EQ(next, expect);
+  }
+}
+
+TEST(Generators, RandomDagIsDeterministic) {
+  const aig::Aig a = random_dag(10, 40, 8, 12345);
+  const aig::Aig b = random_dag(10, 40, 8, 12345);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  std::vector<std::uint64_t> stim(10, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(aig::simulate(a, stim), aig::simulate(b, stim));
+  const aig::Aig c = random_dag(10, 40, 8, 54321);
+  EXPECT_NE(aig::simulate(a, stim), aig::simulate(c, stim));
+}
+
+TEST(Generators, MergeKeepsPartsIndependent) {
+  const aig::Aig m = merge({parity_tree(3), comparator(2)});
+  EXPECT_EQ(m.num_inputs(), 3u + 4u);
+  EXPECT_EQ(m.num_outputs(), 1u + 3u);
+  // Parity output only depends on the first three inputs.
+  const core::Cone cone = core::extract_po_cone(m, 0);
+  EXPECT_EQ(cone.n(), 3);
+}
+
+TEST(Suite, AllScalesProduceCircuits) {
+  for (SuiteScale s : {SuiteScale::kTiny, SuiteScale::kSmall, SuiteScale::kFull}) {
+    const auto suite = standard_suite(s);
+    EXPECT_GE(suite.size(), 6u);
+    for (const BenchCircuit& c : suite) {
+      EXPECT_FALSE(c.name.empty());
+      EXPECT_FALSE(c.standin_for.empty());
+      EXPECT_GT(c.aig.num_outputs(), 0u);
+      EXPECT_GT(c.aig.num_inputs(), 0u);
+    }
+  }
+}
+
+TEST(Suite, SmallSuiteSupportsSpanWideRange) {
+  int max_support = 0;
+  for (const BenchCircuit& c : standard_suite(SuiteScale::kSmall)) {
+    for (std::uint32_t po = 0; po < c.aig.num_outputs(); ++po) {
+      const core::Cone cone = core::extract_po_cone(c.aig, po);
+      max_support = std::max(max_support, cone.n());
+    }
+  }
+  EXPECT_GE(max_support, 15);  // the paper's #InM > 30 scaled down
+}
+
+}  // namespace
+}  // namespace step::benchgen

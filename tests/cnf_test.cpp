@@ -1,0 +1,252 @@
+#include "cnf/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "cnf/cnf.h"
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "sat/solver.h"
+
+namespace step::cnf {
+namespace {
+
+using sat::Lbool;
+using sat::Lit;
+using sat::LitVec;
+using sat::mk_lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+// ---------- cardinality: exhaustive model counting -----------------------------
+
+/// Counts models of the constraint over the n base variables by repeatedly
+/// solving + blocking the projection onto the base variables.
+int count_projected_models(Solver& s, const std::vector<Var>& base) {
+  int models = 0;
+  while (s.solve() == Result::kSat) {
+    ++models;
+    LitVec block;
+    for (Var v : base) {
+      block.push_back(mk_lit(v, s.model_value(v) == Lbool::kTrue));
+    }
+    s.add_clause(block);
+    if (models > 4096) break;  // runaway guard
+  }
+  return models;
+}
+
+int binomial_sum_at_most(int n, int k) {
+  // sum_{i=0..k} C(n,i)
+  long long sum = 0, c = 1;
+  for (int i = 0; i <= n; ++i) {
+    if (i <= k) sum += c;
+    c = c * (n - i) / (i + 1);
+  }
+  return static_cast<int>(sum);
+}
+
+struct AmkCase {
+  int n, k;
+};
+
+class AtMostK : public ::testing::TestWithParam<AmkCase> {};
+
+TEST_P(AtMostK, ModelCountMatchesBinomialSum) {
+  const auto [n, k] = GetParam();
+  Solver s;
+  std::vector<Var> base;
+  LitVec lits;
+  for (int i = 0; i < n; ++i) {
+    base.push_back(s.new_var());
+    lits.push_back(mk_lit(base[i]));
+  }
+  SolverSink sink(s);
+  at_most_k(sink, lits, k);
+  EXPECT_EQ(count_projected_models(s, base), binomial_sum_at_most(n, k))
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AtMostK,
+    ::testing::Values(AmkCase{1, 0}, AmkCase{2, 1}, AmkCase{3, 1}, AmkCase{3, 2},
+                      AmkCase{4, 0}, AmkCase{4, 2}, AmkCase{5, 1}, AmkCase{5, 3},
+                      AmkCase{6, 2}, AmkCase{6, 5}, AmkCase{7, 3}, AmkCase{8, 4}));
+
+TEST(Cardinality, AtMostKTrivialWhenKGeqN) {
+  Solver s;
+  LitVec lits;
+  std::vector<Var> base;
+  for (int i = 0; i < 4; ++i) {
+    base.push_back(s.new_var());
+    lits.push_back(mk_lit(base[i]));
+  }
+  SolverSink sink(s);
+  at_most_k(sink, lits, 4);
+  EXPECT_EQ(count_projected_models(s, base), 16);
+}
+
+TEST(Cardinality, AtMostNegativeKIsUnsat) {
+  Solver s;
+  LitVec lits{mk_lit(s.new_var())};
+  SolverSink sink(s);
+  at_most_k(sink, lits, -1);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Cardinality, AtLeastKCounts) {
+  Solver s;
+  std::vector<Var> base;
+  LitVec lits;
+  for (int i = 0; i < 5; ++i) {
+    base.push_back(s.new_var());
+    lits.push_back(mk_lit(base[i]));
+  }
+  SolverSink sink(s);
+  at_least_k(sink, lits, 3);
+  // #models = C(5,3)+C(5,4)+C(5,5) = 10+5+1.
+  EXPECT_EQ(count_projected_models(s, base), 16);
+}
+
+TEST(Cardinality, AtLeastOneAndPairwiseAtMostOne) {
+  Solver s;
+  std::vector<Var> base;
+  LitVec lits;
+  for (int i = 0; i < 6; ++i) {
+    base.push_back(s.new_var());
+    lits.push_back(mk_lit(base[i]));
+  }
+  SolverSink sink(s);
+  at_least_one(sink, lits);
+  at_most_one_pairwise(sink, lits);
+  EXPECT_EQ(count_projected_models(s, base), 6);  // exactly-one
+}
+
+TEST(Cardinality, DiffAtMostKEnumerates) {
+  // #models of (sum a) - (sum b) <= 1 over 3+3 free vars.
+  Solver s;
+  std::vector<Var> base;
+  LitVec a, b;
+  for (int i = 0; i < 3; ++i) {
+    base.push_back(s.new_var());
+    a.push_back(mk_lit(base.back()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    base.push_back(s.new_var());
+    b.push_back(mk_lit(base.back()));
+  }
+  SolverSink sink(s);
+  diff_at_most_k(sink, a, b, 1);
+  int expect = 0;
+  for (int m = 0; m < 64; ++m) {
+    const int ca = __builtin_popcount(m & 7);
+    const int cb = __builtin_popcount((m >> 3) & 7);
+    if (ca - cb <= 1) ++expect;
+  }
+  EXPECT_EQ(count_projected_models(s, base), expect);
+}
+
+TEST(Cardinality, DiffNonNegativeEnumerates) {
+  Solver s;
+  std::vector<Var> base;
+  LitVec a, b;
+  for (int i = 0; i < 3; ++i) {
+    base.push_back(s.new_var());
+    a.push_back(mk_lit(base.back()));
+  }
+  for (int i = 0; i < 2; ++i) {
+    base.push_back(s.new_var());
+    b.push_back(mk_lit(base.back()));
+  }
+  SolverSink sink(s);
+  diff_non_negative(sink, a, b);
+  int expect = 0;
+  for (int m = 0; m < 32; ++m) {
+    const int ca = __builtin_popcount(m & 7);
+    const int cb = __builtin_popcount((m >> 3) & 3);
+    if (ca - cb >= 0) ++expect;
+  }
+  EXPECT_EQ(count_projected_models(s, base), expect);
+}
+
+// ---------- Tseitin --------------------------------------------------------------
+
+TEST(Tseitin, ConeEncodingMatchesSimulation) {
+  Rng rng(7);
+  for (int iter = 0; iter < 25; ++iter) {
+    // Random 4-input AIG cone.
+    aig::Aig a;
+    std::vector<aig::Lit> pool;
+    for (int i = 0; i < 4; ++i) pool.push_back(a.add_input());
+    for (int g = 0; g < 20; ++g) {
+      const aig::Lit f0 =
+          pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      const aig::Lit f1 =
+          pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      pool.push_back(a.land(f0, f1));
+    }
+    const aig::Lit root = pool.back() ^ (rng.next_bool() ? 1u : 0u);
+
+    Solver s;
+    std::vector<Lit> in_sat(4);
+    for (auto& l : in_sat) l = mk_lit(s.new_var());
+    SolverSink sink(s);
+    const Lit r = encode_cone(a, root, in_sat, sink);
+
+    // For every input assignment the SAT encoding must agree with
+    // simulation under assumptions.
+    std::vector<std::uint64_t> stim(4);
+    for (int j = 0; j < 4; ++j) stim[j] = (0xffffULL / 3) << j;  // varied
+    for (int m = 0; m < 16; ++m) {
+      LitVec assume;
+      std::vector<std::uint64_t> bits(4);
+      for (int j = 0; j < 4; ++j) {
+        const bool v = ((m >> j) & 1) != 0;
+        bits[j] = v ? ~0ULL : 0;
+        assume.push_back(v ? in_sat[j] : ~in_sat[j]);
+      }
+      const bool expect = (aig::simulate_cone(a, root, bits) & 1ULL) != 0;
+      assume.push_back(expect ? ~r : r);  // assume the wrong value
+      EXPECT_EQ(s.solve(assume), Result::kUnsat);
+      assume.back() = expect ? r : ~r;  // and the right one
+      EXPECT_EQ(s.solve(assume), Result::kSat);
+    }
+  }
+}
+
+TEST(Tseitin, ConstantRoot) {
+  aig::Aig a;
+  (void)a.add_input();
+  Solver s;
+  SolverSink sink(s);
+  const Lit t = encode_cone(a, aig::kLitTrue, {mk_lit(s.new_var())}, sink);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.model_value(t), Lbool::kTrue);
+}
+
+TEST(Tseitin, AssertValueForcesRoot) {
+  aig::Aig a;
+  const aig::Lit x = a.add_input();
+  const aig::Lit y = a.add_input();
+  const aig::Lit f = a.land(x, y);
+  Solver s;
+  std::vector<Lit> in_sat{mk_lit(s.new_var()), mk_lit(s.new_var())};
+  SolverSink sink(s);
+  encode_cone_assert(a, f, in_sat, sink, true);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.model_value(in_sat[0]), Lbool::kTrue);
+  EXPECT_EQ(s.model_value(in_sat[1]), Lbool::kTrue);
+}
+
+TEST(VecSinkTest, CollectsClauses) {
+  VecSink sink(10);
+  const Var v = sink.new_var();
+  EXPECT_EQ(v, 10);
+  sink.add_binary(mk_lit(v), ~mk_lit(v));
+  ASSERT_EQ(sink.clauses().size(), 1u);
+  EXPECT_EQ(sink.clauses()[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace step::cnf

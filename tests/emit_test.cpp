@@ -1,0 +1,146 @@
+// Tests for the auxiliary emitters (Verilog, Graphviz) and the
+// known-partition decomposition API.
+
+#include <gtest/gtest.h>
+
+#include "aig/dot.h"
+#include "benchgen/generators.h"
+#include "core/decomposer.h"
+#include "core/partition_check.h"
+#include "io/verilog_writer.h"
+#include "test_util.h"
+
+namespace step {
+namespace {
+
+// ---------- Verilog ---------------------------------------------------------------
+
+TEST(Verilog, EmitsWellFormedModule) {
+  const aig::Aig a = benchgen::ripple_adder(2);
+  const std::string v = io::write_verilog(a, "adder2");
+  EXPECT_NE(v.find("module adder2 ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input a0;"), std::string::npos);
+  EXPECT_NE(v.find("output sum0;"), std::string::npos);
+  // One assign per AND gate in the PO cones plus one per output.
+  std::size_t assigns = 0;
+  for (std::size_t pos = v.find("assign"); pos != std::string::npos;
+       pos = v.find("assign", pos + 1)) {
+    ++assigns;
+  }
+  EXPECT_EQ(assigns, a.num_ands() + a.num_outputs());
+}
+
+TEST(Verilog, SanitisesHostileNames) {
+  aig::Aig a;
+  const aig::Lit x = a.add_input("3bad name[0]");
+  a.add_output(aig::lnot(x), "out-put!");
+  const std::string v = io::write_verilog(a);
+  // No identifier may keep the hostile characters or start with a digit.
+  EXPECT_EQ(v.find("3bad name"), std::string::npos);
+  EXPECT_EQ(v.find("[0]"), std::string::npos);
+  EXPECT_EQ(v.find("out-put"), std::string::npos);
+  EXPECT_EQ(v.find("input 3"), std::string::npos);
+  EXPECT_NE(v.find("n_3bad_name_0_"), std::string::npos);
+  EXPECT_NE(v.find("out_put_"), std::string::npos);
+}
+
+TEST(Verilog, NameCollisionsGetSuffixed) {
+  aig::Aig a;
+  (void)a.add_input("x y");
+  (void)a.add_input("x_y");
+  a.add_output(aig::kLitTrue, "f");
+  const std::string v = io::write_verilog(a);
+  EXPECT_NE(v.find("x_y_x"), std::string::npos);  // second one suffixed
+}
+
+TEST(Verilog, ConstantOutputs) {
+  aig::Aig a;
+  (void)a.add_input("x");
+  a.add_output(aig::kLitTrue, "t");
+  a.add_output(aig::kLitFalse, "f");
+  const std::string v = io::write_verilog(a);
+  EXPECT_NE(v.find("assign t = 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("assign f = 1'b0;"), std::string::npos);
+}
+
+// ---------- dot --------------------------------------------------------------------
+
+TEST(Dot, RendersStructure) {
+  aig::Aig a;
+  const aig::Lit x = a.add_input("x");
+  const aig::Lit y = a.add_input("y");
+  a.add_output(a.land(x, aig::lnot(y)), "f");
+  const std::string d = aig::to_dot(a, "g");
+  EXPECT_NE(d.find("digraph g {"), std::string::npos);
+  EXPECT_NE(d.find("label=\"x\""), std::string::npos);
+  EXPECT_NE(d.find("shape=circle"), std::string::npos);
+  EXPECT_NE(d.find("style=dashed"), std::string::npos);  // complemented edge
+  EXPECT_NE(d.find("doubleoctagon"), std::string::npos);
+}
+
+// ---------- known-partition API ----------------------------------------------------
+
+TEST(KnownPartition, ValidPartitionExtractsAndVerifies) {
+  core::Cone cone;
+  const aig::Lit s = cone.aig.add_input();
+  const aig::Lit x = cone.aig.add_input();
+  const aig::Lit y = cone.aig.add_input();
+  cone.root = cone.aig.lmux(s, x, y);
+  core::Partition p;
+  p.cls = {core::VarClass::kC, core::VarClass::kA, core::VarClass::kB};
+  const core::DecomposeResult r =
+      core::decompose_with_partition(cone, core::GateOp::kOr, p);
+  ASSERT_EQ(r.status, core::DecomposeStatus::kDecomposed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.metrics.shared, 1);
+}
+
+TEST(KnownPartition, InvalidPartitionRejected) {
+  core::Cone cone;
+  const aig::Lit x = cone.aig.add_input();
+  const aig::Lit y = cone.aig.add_input();
+  cone.root = cone.aig.land(x, y);  // not OR-decomposable disjointly
+  core::Partition p;
+  p.cls = {core::VarClass::kA, core::VarClass::kB};
+  EXPECT_EQ(core::decompose_with_partition(cone, core::GateOp::kOr, p).status,
+            core::DecomposeStatus::kNotDecomposable);
+  // ...but fine as an AND decomposition.
+  EXPECT_EQ(core::decompose_with_partition(cone, core::GateOp::kAnd, p).status,
+            core::DecomposeStatus::kDecomposed);
+}
+
+TEST(KnownPartition, TrivialPartitionRejected) {
+  core::Cone cone;
+  const aig::Lit x = cone.aig.add_input();
+  const aig::Lit y = cone.aig.add_input();
+  cone.root = cone.aig.lor(x, y);
+  core::Partition p;
+  p.cls = {core::VarClass::kA, core::VarClass::kA};
+  EXPECT_EQ(core::decompose_with_partition(cone, core::GateOp::kOr, p).status,
+            core::DecomposeStatus::kNotDecomposable);
+}
+
+TEST(KnownPartition, AgreesWithOracleOnRandomInputs) {
+  Rng rng(60601);
+  int accepted = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = rng.next_int(2, 6);
+    const core::Cone cone =
+        testutil::random_cone(n, rng.next_int(3, 18), rng.next());
+    const core::Partition p = testutil::random_partition(n, rng);
+    const core::GateOp op = static_cast<core::GateOp>(rng.next_int(0, 2));
+    const auto r = core::decompose_with_partition(cone, op, p);
+    const bool expect = p.non_trivial() &&
+                        core::check_partition_exhaustive(cone, op, p);
+    EXPECT_EQ(r.status == core::DecomposeStatus::kDecomposed, expect);
+    if (expect) {
+      ++accepted;
+      EXPECT_TRUE(r.verified);
+    }
+  }
+  EXPECT_GT(accepted, 0);
+}
+
+}  // namespace
+}  // namespace step

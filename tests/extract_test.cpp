@@ -1,0 +1,143 @@
+#include "core/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/support.h"
+#include "core/partition_check.h"
+#include "test_util.h"
+
+namespace step::core {
+namespace {
+
+Partition make_p(std::initializer_list<char> spec) {
+  Partition p;
+  for (char ch : spec) {
+    p.cls.push_back(ch == 'A' ? VarClass::kA
+                              : ch == 'B' ? VarClass::kB : VarClass::kC);
+  }
+  return p;
+}
+
+/// Support of the extracted functions must respect the partition:
+/// fa touches only XA ∪ XC, fb only XB ∪ XC.
+void expect_supports_respected(const ExtractedFunctions& fns,
+                               const Partition& p) {
+  for (std::uint32_t i : aig::structural_support(fns.aig, fns.fa)) {
+    EXPECT_NE(p.cls[i], VarClass::kB) << "fa reads an XB variable";
+  }
+  for (std::uint32_t i : aig::structural_support(fns.aig, fns.fb)) {
+    EXPECT_NE(p.cls[i], VarClass::kA) << "fb reads an XA variable";
+  }
+}
+
+/// Exhaustive equivalence of f and the recombination.
+void expect_recombines(const Cone& cone, const ExtractedFunctions& fns) {
+  EXPECT_TRUE(testutil::equivalent_by_simulation(cone.aig, cone.root, fns.aig,
+                                                 fns.combined, cone.n()));
+}
+
+TEST(Extract, OrOfTwoVariables) {
+  Cone c;
+  const aig::Lit x = c.aig.add_input();
+  const aig::Lit y = c.aig.add_input();
+  c.root = c.aig.lor(x, y);
+  const Partition p = make_p({'A', 'B'});
+  const ExtractedFunctions fns = extract_functions(c, GateOp::kOr, p);
+  expect_supports_respected(fns, p);
+  expect_recombines(c, fns);
+  EXPECT_TRUE(verify_decomposition(c, fns));
+}
+
+TEST(Extract, AndDuality) {
+  Cone c;
+  const aig::Lit x = c.aig.add_input();
+  const aig::Lit y = c.aig.add_input();
+  const aig::Lit z = c.aig.add_input();
+  c.root = c.aig.land(c.aig.land(x, y), z);
+  const Partition p = make_p({'A', 'A', 'B'});
+  ASSERT_TRUE(check_partition_exhaustive(c, GateOp::kAnd, p));
+  const ExtractedFunctions fns = extract_functions(c, GateOp::kAnd, p);
+  expect_supports_respected(fns, p);
+  expect_recombines(c, fns);
+  EXPECT_TRUE(verify_decomposition(c, fns));
+}
+
+TEST(Extract, XorByCofactoring) {
+  Cone c;
+  std::vector<aig::Lit> xs;
+  for (int i = 0; i < 5; ++i) xs.push_back(c.aig.add_input());
+  c.root = c.aig.lxor_many(xs);
+  const Partition p = make_p({'A', 'A', 'B', 'B', 'B'});
+  ASSERT_TRUE(check_partition_exhaustive(c, GateOp::kXor, p));
+  const ExtractedFunctions fns = extract_functions(c, GateOp::kXor, p);
+  expect_supports_respected(fns, p);
+  expect_recombines(c, fns);
+  EXPECT_TRUE(verify_decomposition(c, fns));
+}
+
+TEST(Extract, MuxWithSharedSelect) {
+  Cone c;
+  const aig::Lit s = c.aig.add_input();
+  const aig::Lit x = c.aig.add_input();
+  const aig::Lit y = c.aig.add_input();
+  c.root = c.aig.lmux(s, x, y);
+  const Partition p = make_p({'C', 'A', 'B'});
+  const ExtractedFunctions fns = extract_functions(c, GateOp::kOr, p);
+  expect_supports_respected(fns, p);
+  expect_recombines(c, fns);
+  EXPECT_TRUE(verify_decomposition(c, fns));
+}
+
+struct OpSeed {
+  GateOp op;
+  int seed;
+};
+
+class ExtractRandom : public ::testing::TestWithParam<OpSeed> {};
+
+TEST_P(ExtractRandom, RandomValidPartitionsRecombineExactly) {
+  const auto [op, seed] = GetParam();
+  Rng rng(seed * 40093 + 9);
+  int checked = 0;
+  for (int iter = 0; iter < 120 && checked < 15; ++iter) {
+    const int n = rng.next_int(2, 7);
+    const Cone cone = testutil::random_cone(n, rng.next_int(4, 28), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    if (!p.non_trivial()) continue;
+    if (!check_partition_exhaustive(cone, op, p)) continue;
+    ++checked;
+
+    const ExtractedFunctions fns = extract_functions(cone, op, p);
+    expect_supports_respected(fns, p);
+    expect_recombines(cone, fns);
+    EXPECT_TRUE(verify_decomposition(cone, fns));
+  }
+  EXPECT_GT(checked, 4) << "random mix produced too few valid partitions";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, ExtractRandom,
+    ::testing::Values(OpSeed{GateOp::kOr, 0}, OpSeed{GateOp::kOr, 1},
+                      OpSeed{GateOp::kOr, 2}, OpSeed{GateOp::kAnd, 0},
+                      OpSeed{GateOp::kAnd, 1}, OpSeed{GateOp::kAnd, 2},
+                      OpSeed{GateOp::kXor, 0}, OpSeed{GateOp::kXor, 1},
+                      OpSeed{GateOp::kXor, 2}));
+
+TEST(Extract, VerifyRejectsWrongRecombination) {
+  // verify_decomposition must actually catch mistakes: feed it a bogus
+  // function pair.
+  Cone c;
+  const aig::Lit x = c.aig.add_input();
+  const aig::Lit y = c.aig.add_input();
+  c.root = c.aig.lor(x, y);
+  ExtractedFunctions bogus;
+  const aig::Lit bx = bogus.aig.add_input();
+  const aig::Lit by = bogus.aig.add_input();
+  bogus.fa = bx;
+  bogus.fb = by;
+  bogus.combined = bogus.aig.land(bx, by);  // AND instead of OR
+  EXPECT_FALSE(verify_decomposition(c, bogus));
+}
+
+}  // namespace
+}  // namespace step::core

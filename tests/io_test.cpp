@@ -1,0 +1,154 @@
+#include "io/blif_reader.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "benchgen/generators.h"
+#include "io/blif_writer.h"
+#include "io/comb.h"
+
+namespace step::io {
+namespace {
+
+TEST(BlifReader, ParsesEmbeddedC17) {
+  const Network net = parse_blif(benchgen::embedded_c17_blif());
+  EXPECT_EQ(net.name, "c17");
+  EXPECT_EQ(net.inputs.size(), 5u);
+  EXPECT_EQ(net.outputs.size(), 2u);
+  EXPECT_EQ(net.nodes.size(), 6u);
+  EXPECT_TRUE(net.is_combinational());
+}
+
+TEST(BlifReader, C17FunctionIsCorrect) {
+  const Network net = parse_blif(benchgen::embedded_c17_blif());
+  const aig::Aig a = net.to_aig();
+  ASSERT_EQ(a.num_inputs(), 5u);
+  ASSERT_EQ(a.num_outputs(), 2u);
+  // Reference model: G22 = NAND(G10,G16), etc.
+  for (int m = 0; m < 32; ++m) {
+    const bool g1 = m & 1, g2 = m & 2, g3 = m & 4, g6 = m & 8, g7 = m & 16;
+    const bool g10 = !(g1 && g3);
+    const bool g11 = !(g3 && g6);
+    const bool g16 = !(g2 && g11);
+    const bool g19 = !(g11 && g7);
+    const bool g22 = !(g10 && g16);
+    const bool g23 = !(g16 && g19);
+    std::vector<std::uint64_t> stim(5);
+    for (int j = 0; j < 5; ++j) stim[j] = ((m >> j) & 1) ? ~0ULL : 0;
+    const auto out = aig::simulate(a, stim);
+    EXPECT_EQ((out[0] & 1) != 0, g22) << "m=" << m;
+    EXPECT_EQ((out[1] & 1) != 0, g23) << "m=" << m;
+  }
+}
+
+TEST(BlifReader, ConstantNodes) {
+  const Network net = parse_blif(
+      ".model consts\n.inputs a\n.outputs one zero buf\n"
+      ".names one\n1\n"
+      ".names zero\n"  // empty cover = constant 0
+      ".names a buf\n1 1\n"
+      ".end\n");
+  const aig::Aig a = net.to_aig();
+  const auto out = aig::simulate(a, {0xf0f0f0f0f0f0f0f0ULL});
+  EXPECT_EQ(out[0], ~0ULL);
+  EXPECT_EQ(out[1], 0ULL);
+  EXPECT_EQ(out[2], 0xf0f0f0f0f0f0f0f0ULL);
+}
+
+TEST(BlifReader, OffsetCover) {
+  // f = NOT(a OR b) expressed through the offset.
+  const Network net = parse_blif(
+      ".model off\n.inputs a b\n.outputs f\n"
+      ".names a b f\n1- 0\n-1 0\n.end\n");
+  const aig::Aig a = net.to_aig();
+  const auto out = aig::simulate(a, {0b0101, 0b0011});
+  EXPECT_EQ(out[0] & 0xf, 0b1000u);
+}
+
+TEST(BlifReader, LineContinuationAndComments) {
+  const Network net = parse_blif(
+      "# a comment\n.model m\n.inputs a \\\nb\n.outputs f\n"
+      ".names a b f\n11 1\n.end\n");
+  EXPECT_EQ(net.inputs.size(), 2u);
+}
+
+TEST(BlifReader, ErrorsOnUndrivenNet) {
+  const Network net = parse_blif(".model bad\n.inputs a\n.outputs f\n.end\n");
+  EXPECT_THROW(net.to_aig(), std::runtime_error);
+}
+
+TEST(BlifReader, ErrorsOnCycle) {
+  const Network net = parse_blif(
+      ".model cyc\n.inputs a\n.outputs f\n"
+      ".names g a f\n11 1\n.names f g\n1 1\n.end\n");
+  EXPECT_THROW(net.to_aig(), std::runtime_error);
+}
+
+TEST(BlifReader, ErrorsOnMalformedCube) {
+  EXPECT_THROW(parse_blif(".model m\n.inputs a\n.outputs f\n"
+                          ".names a f\n2 1\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(BlifComb, LatchesBecomeInputsAndOutputs) {
+  const Network net = parse_blif(
+      ".model seq\n.inputs en\n.outputs q0\n"
+      ".latch n0 s0 0\n"
+      ".names en s0 n0\n01 1\n10 1\n"  // n0 = en XOR s0
+      ".names s0 q0\n1 1\n.end\n");
+  EXPECT_FALSE(net.is_combinational());
+  EXPECT_EQ(comb_num_inputs(net), 2u);
+  EXPECT_EQ(comb_num_outputs(net), 2u);
+  const aig::Aig a = to_combinational(net);
+  ASSERT_EQ(a.num_inputs(), 2u);  // en + latch output s0
+  ASSERT_EQ(a.num_outputs(), 2u);  // q0 + next-state n0
+  const auto out = aig::simulate(a, {0b0101, 0b0011});
+  EXPECT_EQ(out[0] & 0xf, 0b0011u);  // q0 follows s0
+  EXPECT_EQ(out[1] & 0xf, 0b0110u);  // n0 = en ^ s0
+}
+
+TEST(BlifWriter, RoundTripPreservesFunction) {
+  const std::vector<aig::Aig> circuits = {
+      benchgen::ripple_adder(3), benchgen::comparator(3),
+      benchgen::parity_tree(5), benchgen::priority_encoder(4)};
+  for (const aig::Aig& a : circuits) {
+    const std::string text = write_blif(a, "rt");
+    const Network net = parse_blif(text);
+    const aig::Aig b = net.to_aig();
+    ASSERT_EQ(a.num_inputs(), b.num_inputs());
+    ASSERT_EQ(a.num_outputs(), b.num_outputs());
+    std::vector<std::uint64_t> stim(a.num_inputs());
+    std::uint64_t x = 0x243f6a8885a308d3ULL;
+    for (auto& w : stim) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      w = x;
+    }
+    EXPECT_EQ(aig::simulate(a, stim), aig::simulate(b, stim));
+  }
+}
+
+TEST(BlifWriter, ConstantOutputs) {
+  aig::Aig a;
+  (void)a.add_input("x");
+  a.add_output(aig::kLitTrue, "t");
+  a.add_output(aig::kLitFalse, "f");
+  const Network net = parse_blif(write_blif(a));
+  const aig::Aig b = net.to_aig();
+  const auto out = aig::simulate(b, {0xaaULL});
+  EXPECT_EQ(out[0], ~0ULL);
+  EXPECT_EQ(out[1], 0ULL);
+}
+
+TEST(BlifWriter, InverterOutput) {
+  aig::Aig a;
+  const aig::Lit x = a.add_input("x");
+  a.add_output(aig::lnot(x), "nx");
+  const aig::Aig b = parse_blif(write_blif(a)).to_aig();
+  const auto out = aig::simulate(b, {0b01ULL});
+  EXPECT_EQ(out[0] & 0b11, 0b10u);
+}
+
+}  // namespace
+}  // namespace step::io

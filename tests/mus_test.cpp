@@ -1,0 +1,170 @@
+#include "mus/group_mus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace step::mus {
+namespace {
+
+using sat::Lit;
+using sat::LitVec;
+using sat::mk_lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+/// Test fixture instrumenting grouped clauses with enable selectors:
+/// group g's clauses become (C ∨ ¬e_g).
+struct GroupedFormula {
+  Solver solver;
+  std::vector<Lit> enable;
+  std::vector<std::vector<LitVec>> groups;  // original clauses per group
+
+  void add_group(std::vector<LitVec> clauses, int num_base_vars) {
+    while (solver.num_vars() < num_base_vars) solver.new_var();
+    const Var e = solver.new_var();
+    enable.push_back(mk_lit(e));
+    for (LitVec c : clauses) {
+      c.push_back(~mk_lit(e));
+      solver.add_clause(c);
+    }
+    groups.push_back(std::move(clauses));
+  }
+
+  /// Brute-force check: is the union of the given groups satisfiable?
+  bool groups_sat(const std::vector<int>& subset, int num_base_vars) {
+    for (std::uint64_t m = 0; m < (1ULL << num_base_vars); ++m) {
+      bool all = true;
+      for (int g : subset) {
+        for (const LitVec& c : groups[g]) {
+          bool sat_c = false;
+          for (Lit l : c) {
+            if (sat::var(l) >= num_base_vars) continue;  // selector tail
+            if ((((m >> sat::var(l)) & 1ULL) != 0) != sat::sign(l)) sat_c = true;
+          }
+          if (!sat_c) {
+            all = false;
+            break;
+          }
+        }
+        if (!all) break;
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+};
+
+TEST(GroupMus, MinimalPairOfUnits) {
+  GroupedFormula f;
+  f.add_group({{mk_lit(0)}}, 2);        // x0
+  f.add_group({{~mk_lit(0)}}, 2);       // ¬x0
+  f.add_group({{mk_lit(1)}}, 2);        // x1 (irrelevant)
+  GroupMusExtractor ex(f.solver, f.enable);
+  const GroupMusResult r = ex.extract();
+  EXPECT_TRUE(r.minimal);
+  EXPECT_EQ(r.mus, (std::vector<int>{0, 1}));
+}
+
+TEST(GroupMus, WholeFormulaWhenEverythingNeeded) {
+  GroupedFormula f;
+  // x0->x1, x1->x2, x2->¬x0, x0 : all four groups necessary.
+  f.add_group({{~mk_lit(0), mk_lit(1)}}, 3);
+  f.add_group({{~mk_lit(1), mk_lit(2)}}, 3);
+  f.add_group({{~mk_lit(2), ~mk_lit(0)}}, 3);
+  f.add_group({{mk_lit(0)}}, 3);
+  GroupMusExtractor ex(f.solver, f.enable);
+  const GroupMusResult r = ex.extract();
+  EXPECT_TRUE(r.minimal);
+  EXPECT_EQ(r.mus.size(), 4u);
+}
+
+TEST(GroupMus, InitiallyRemovedGroupsStayOut) {
+  GroupedFormula f;
+  f.add_group({{mk_lit(0)}}, 2);   // 0: x0
+  f.add_group({{~mk_lit(0)}}, 2);  // 1: ¬x0
+  f.add_group({{mk_lit(1)}}, 2);   // 2: x1
+  f.add_group({{~mk_lit(1)}}, 2);  // 3: ¬x1
+  GroupMusExtractor ex(f.solver, f.enable);
+  std::vector<char> removed{1, 1, 0, 0};  // rule out the x0 conflict
+  const GroupMusResult r = ex.extract(nullptr, &removed);
+  EXPECT_EQ(r.mus, (std::vector<int>{2, 3}));
+}
+
+TEST(GroupMus, MultiClauseGroupsTreatedAtomically) {
+  GroupedFormula f;
+  // Group 0 carries two clauses that together force x0=1 and x1=1;
+  // group 1 forbids that combination.
+  f.add_group({{mk_lit(0)}, {mk_lit(1)}}, 2);
+  f.add_group({{~mk_lit(0), ~mk_lit(1)}}, 2);
+  GroupMusExtractor ex(f.solver, f.enable);
+  const GroupMusResult r = ex.extract();
+  EXPECT_EQ(r.mus.size(), 2u);
+}
+
+class GroupMusRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupMusRandom, ExtractedMusIsUnsatAndMinimal) {
+  Rng rng(GetParam() * 2477 + 11);
+  int checked = 0;
+  for (int iter = 0; iter < 60 && checked < 8; ++iter) {
+    const int nv = rng.next_int(3, 7);
+    const int ng = rng.next_int(3, 9);
+    GroupedFormula f;
+    for (int g = 0; g < ng; ++g) {
+      std::vector<LitVec> clauses;
+      const int nc = rng.next_int(1, 3);
+      for (int c = 0; c < nc; ++c) {
+        LitVec cl;
+        const int w = rng.next_int(1, 3);
+        for (int j = 0; j < w; ++j) {
+          cl.push_back(mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+        }
+        clauses.push_back(cl);
+      }
+      f.add_group(std::move(clauses), nv);
+    }
+    std::vector<int> all(ng);
+    for (int g = 0; g < ng; ++g) all[g] = g;
+    if (f.groups_sat(all, nv)) continue;  // need an UNSAT instance
+    ++checked;
+
+    GroupMusExtractor ex(f.solver, f.enable);
+    const GroupMusResult r = ex.extract();
+    ASSERT_TRUE(r.minimal);
+    // The MUS must be UNSAT...
+    EXPECT_FALSE(f.groups_sat(r.mus, nv));
+    // ...and dropping any single group must restore satisfiability.
+    for (int drop : r.mus) {
+      std::vector<int> sub;
+      for (int g : r.mus) {
+        if (g != drop) sub.push_back(g);
+      }
+      EXPECT_TRUE(f.groups_sat(sub, nv))
+          << "group " << drop << " is not necessary";
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupMusRandom, ::testing::Range(0, 8));
+
+TEST(GroupMus, DeadlineTruncationKeepsUnsatSubset) {
+  GroupedFormula f;
+  for (int i = 0; i < 4; ++i) {
+    f.add_group({{mk_lit(i)}}, 4);
+    f.add_group({{~mk_lit(i)}}, 4);
+  }
+  GroupMusExtractor ex(f.solver, f.enable);
+  const Deadline expired(1e-9);
+  const GroupMusResult r = ex.extract(&expired);
+  EXPECT_FALSE(r.minimal);
+  std::vector<int> subset(r.mus.begin(), r.mus.end());
+  EXPECT_FALSE(f.groups_sat(subset, 4));
+}
+
+}  // namespace
+}  // namespace step::mus

@@ -1,0 +1,151 @@
+// Edge cases of the bound search and of the decomposition drivers:
+// budget exhaustion, degenerate schedules, bootstrap interactions.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.h"
+#include "core/circuit_driver.h"
+#include "core/mg.h"
+#include "core/optimum.h"
+#include "core/partition_check.h"
+#include "test_util.h"
+
+namespace step::core {
+namespace {
+
+RelaxationMatrix matrix_for(const Cone& cone, GateOp op = GateOp::kOr) {
+  return build_relaxation_matrix(cone, op);
+}
+
+TEST(OptimumEdge, ZeroBudgetGivesUnknownWithoutBootstrap) {
+  const Cone cone = testutil::random_cone(5, 14, 99);
+  const RelaxationMatrix m = matrix_for(cone);
+  QbfPartitionFinder finder(m);
+  OptimumOptions o;
+  o.call_timeout_s = 1e-9;  // every query times out
+  OptimumSearch search(finder, QbfModel::kQD, o);
+  const OptimumResult r = search.run(std::nullopt);
+  EXPECT_EQ(r.outcome, OptimumResult::Outcome::kUnknown);
+  EXPECT_GT(r.timeouts, 0);
+}
+
+TEST(OptimumEdge, ZeroBudgetKeepsBootstrapResult) {
+  // With a bootstrap partition, even total QBF starvation must return the
+  // bootstrap as a (non-proven) result — the paper's "never worse than
+  // STEP-MG" guarantee.
+  const Cone cone = testutil::random_cone(5, 14, 1234);
+  const RelaxationMatrix m = matrix_for(cone);
+  RelaxationSolver rs(m);
+  MgDecomposer mg(rs);
+  const PartitionSearchResult boot = mg.find_partition();
+  if (!boot.found) GTEST_SKIP() << "cone not decomposable";
+
+  QbfPartitionFinder finder(m);
+  OptimumOptions o;
+  o.call_timeout_s = 1e-9;
+  OptimumSearch search(finder, QbfModel::kQD, o);
+  const OptimumResult r = search.run(boot.partition);
+  ASSERT_EQ(r.outcome, OptimumResult::Outcome::kFound);
+  EXPECT_EQ(r.best, boot.partition);
+  const int boot_cost =
+      metric_cost(Metrics::of(boot.partition), MetricKind::kDisjointness);
+  if (boot_cost == 0) {
+    // Nothing below cost 0 to refute: optimal by definition, no calls.
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.qbf_calls, 0);
+  } else {
+    EXPECT_FALSE(r.proven_optimal);
+  }
+}
+
+TEST(OptimumEdge, AlreadyOptimalBootstrapProvenInOneCall) {
+  // Parity XOR-decomposes with |XC| = 0; bootstrap cost 0 means there is
+  // nothing below to refute: proven optimal without any QBF call.
+  Cone cone;
+  std::vector<aig::Lit> xs;
+  for (int i = 0; i < 4; ++i) xs.push_back(cone.aig.add_input());
+  cone.root = cone.aig.lxor_many(xs);
+  const RelaxationMatrix m = matrix_for(cone, GateOp::kXor);
+
+  Partition boot;
+  boot.cls = {VarClass::kA, VarClass::kA, VarClass::kB, VarClass::kB};
+  ASSERT_TRUE(check_partition_exhaustive(cone, GateOp::kXor, boot));
+
+  QbfPartitionFinder finder(m);
+  OptimumSearch search(finder, QbfModel::kQD);
+  const OptimumResult r = search.run(boot);
+  ASSERT_EQ(r.outcome, OptimumResult::Outcome::kFound);
+  EXPECT_EQ(r.best_cost, 0);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.qbf_calls, 0);
+}
+
+TEST(OptimumEdge, SingleStageSchedulesTerminate) {
+  const Cone cone = testutil::random_cone(4, 12, 777);
+  const RelaxationMatrix m = matrix_for(cone);
+  for (SearchStrategy st :
+       {SearchStrategy::kMonotoneIncreasing, SearchStrategy::kMonotoneDecreasing,
+        SearchStrategy::kBinary}) {
+    QbfPartitionFinder finder(m);
+    OptimumOptions o;
+    o.schedule = {{st, -1}};
+    OptimumSearch search(finder, QbfModel::kQDB, o);
+    const OptimumResult r = search.run(std::nullopt);
+    EXPECT_NE(r.outcome, OptimumResult::Outcome::kUnknown);
+  }
+}
+
+TEST(OptimumEdge, CappedStagesFallThrough) {
+  // A schedule whose stages all cap out must still return the best found.
+  const Cone cone = testutil::random_cone(5, 16, 31415);
+  const RelaxationMatrix m = matrix_for(cone);
+  QbfPartitionFinder finder(m);
+  OptimumOptions o;
+  o.schedule = {{SearchStrategy::kMonotoneDecreasing, 1},
+                {SearchStrategy::kBinary, 1}};
+  OptimumSearch search(finder, QbfModel::kQD, o);
+  const OptimumResult r = search.run(std::nullopt);
+  if (r.outcome == OptimumResult::Outcome::kFound) {
+    EXPECT_TRUE(check_partition_exhaustive(cone, GateOp::kOr, r.best));
+  }
+}
+
+TEST(DriverEdge, CircuitBudgetExhaustionIsReported) {
+  const aig::Aig circ = benchgen::merge(
+      {benchgen::random_sop(5, 5, 2, 10, 5, 0xdead), benchgen::mux_tree(3)});
+  DecomposeOptions opts;
+  opts.engine = Engine::kQbfCombined;
+  const CircuitRunResult r = run_circuit(circ, "tight", opts, 1e-9);
+  EXPECT_TRUE(r.hit_circuit_budget);
+  for (const PoOutcome& po : r.pos) {
+    EXPECT_EQ(po.status, DecomposeStatus::kUnknown);
+  }
+}
+
+TEST(DriverEdge, ExtractionDisabledSkipsFunctions) {
+  const Cone cone = testutil::random_cone(4, 12, 55);
+  DecomposeOptions opts;
+  opts.engine = Engine::kMg;
+  opts.extract = false;
+  const DecomposeResult r = BiDecomposer(opts).decompose(cone);
+  if (r.status == DecomposeStatus::kDecomposed) {
+    EXPECT_FALSE(r.functions.has_value());
+    EXPECT_FALSE(r.verified);
+  }
+}
+
+TEST(DriverEdge, QualityComparisonSkipsUndecomposedPos) {
+  // Compare runs where one engine timed out on everything.
+  const aig::Aig circ = benchgen::random_sop(3, 3, 1, 4, 3, 0xf00);
+  DecomposeOptions ok;
+  ok.engine = Engine::kMg;
+  const CircuitRunResult good = run_circuit(circ, "c", ok, 30.0);
+  const CircuitRunResult starved = run_circuit(circ, "c", ok, 1e-9);
+  const QualityComparison cmp =
+      compare_quality(good, starved, MetricKind::kDisjointness);
+  EXPECT_EQ(cmp.considered, 0);
+  EXPECT_EQ(cmp.better_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace step::core

@@ -1,0 +1,150 @@
+// Algebraic properties of bi-decomposition the implementation must obey:
+// AND/OR duality, XA/XB symmetry, metric invariances, validity monotonicity
+// under op-specific transformations. These catch formulation bugs that
+// single-point tests cannot.
+
+#include <gtest/gtest.h>
+
+#include "aig/ops.h"
+#include "core/partition_check.h"
+#include "test_util.h"
+
+namespace step::core {
+namespace {
+
+Partition swapped_ab(const Partition& p) {
+  Partition q = p;
+  for (VarClass& c : q.cls) {
+    if (c == VarClass::kA) {
+      c = VarClass::kB;
+    } else if (c == VarClass::kB) {
+      c = VarClass::kA;
+    }
+  }
+  return q;
+}
+
+Cone complemented(const Cone& c) {
+  Cone out;
+  out.aig = c.aig;
+  out.root = aig::lnot(c.root);
+  return out;
+}
+
+class PropertySeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertySeeds, AndOrDuality) {
+  // f has an AND decomposition under p  <=>  ¬f has an OR decomposition
+  // under p (Section IV.B).
+  Rng rng(GetParam() * 131 + 7);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = rng.next_int(2, 6);
+    const Cone cone = testutil::random_cone(n, rng.next_int(3, 20), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    EXPECT_EQ(check_partition_exhaustive(cone, GateOp::kAnd, p),
+              check_partition_exhaustive(complemented(cone), GateOp::kOr, p));
+  }
+}
+
+TEST_P(PropertySeeds, AbSymmetryForAllOps) {
+  // Swapping XA and XB never changes validity (the symmetry the QD model
+  // breaks for speed).
+  Rng rng(GetParam() * 7873 + 3);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = rng.next_int(2, 6);
+    const Cone cone = testutil::random_cone(n, rng.next_int(3, 20), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    for (GateOp op : {GateOp::kOr, GateOp::kAnd, GateOp::kXor}) {
+      EXPECT_EQ(check_partition_exhaustive(cone, op, p),
+                check_partition_exhaustive(cone, op, swapped_ab(p)))
+          << to_string(op) << " " << p.to_string();
+    }
+  }
+}
+
+TEST_P(PropertySeeds, XorValidityClosedUnderComplement) {
+  // f = fA ⊕ fB  <=>  ¬f = ¬fA ⊕ fB: XOR validity is invariant under
+  // complementing the function.
+  Rng rng(GetParam() * 911 + 19);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = rng.next_int(2, 6);
+    const Cone cone = testutil::random_cone(n, rng.next_int(3, 20), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    EXPECT_EQ(check_partition_exhaustive(cone, GateOp::kXor, p),
+              check_partition_exhaustive(complemented(cone), GateOp::kXor, p));
+  }
+}
+
+TEST_P(PropertySeeds, MetricsInvariantUnderAbSwap) {
+  Rng rng(GetParam() * 5 + 1);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Partition p = testutil::random_partition(rng.next_int(1, 12), rng);
+    const Metrics m1 = Metrics::of(p);
+    const Metrics m2 = Metrics::of(swapped_ab(p));
+    EXPECT_EQ(m1.shared, m2.shared);
+    EXPECT_EQ(m1.imbalance, m2.imbalance);
+    EXPECT_EQ(m1.combined_cost(), m2.combined_cost());
+  }
+}
+
+TEST_P(PropertySeeds, CofactorsOfValidPartitionsStayValid) {
+  // Restricting a shared variable to a constant preserves validity with
+  // that variable removed from the partition (a well-known closure
+  // property of bi-decompositions).
+  Rng rng(GetParam() * 6007 + 11);
+  int checked = 0;
+  for (int iter = 0; iter < 60 && checked < 10; ++iter) {
+    const int n = rng.next_int(3, 6);
+    const Cone cone = testutil::random_cone(n, rng.next_int(4, 20), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    if (!p.non_trivial()) continue;
+    int shared_pos = -1;
+    for (int i = 0; i < n; ++i) {
+      if (p.cls[i] == VarClass::kC) shared_pos = i;
+    }
+    if (shared_pos < 0) continue;
+    const GateOp op = static_cast<GateOp>(rng.next_int(0, 2));
+    if (!check_partition_exhaustive(cone, op, p)) continue;
+    ++checked;
+
+    for (int value = 0; value <= 1; ++value) {
+      // Build the cofactor cone over the remaining inputs.
+      Cone cf;
+      std::vector<aig::Lit> free_map(n, aig::kLitInvalid);
+      std::vector<int> assignment(n, -1);
+      assignment[shared_pos] = value;
+      Partition q;
+      for (int i = 0; i < n; ++i) {
+        if (i == shared_pos) continue;
+        free_map[i] = cf.aig.add_input();
+        q.cls.push_back(p.cls[i]);
+      }
+      cf.root = aig::cofactor(cone.aig, cone.root, cf.aig, assignment, free_map);
+      EXPECT_TRUE(check_partition_exhaustive(cf, op, q))
+          << to_string(op) << " value=" << value;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(PropertySeeds, SatCheckerAgreesOnSwappedPartitions) {
+  // The SAT-level checker must exhibit the same AB symmetry as the oracle
+  // (guards against asymmetric encoding bugs in the relaxation matrix).
+  Rng rng(GetParam() * 104 + 9);
+  for (int iter = 0; iter < 10; ++iter) {
+    const int n = rng.next_int(2, 5);
+    const Cone cone = testutil::random_cone(n, rng.next_int(3, 16), rng.next());
+    const GateOp op = static_cast<GateOp>(rng.next_int(0, 2));
+    const RelaxationMatrix m = build_relaxation_matrix(cone, op);
+    RelaxationSolver rs(m);
+    for (int t = 0; t < 4; ++t) {
+      const Partition p = testutil::random_partition(n, rng);
+      EXPECT_EQ(rs.is_valid(p), rs.is_valid(swapped_ab(p)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace step::core

@@ -1,0 +1,119 @@
+// Robustness: the parsers must reject malformed input with exceptions —
+// never crash, hang, or silently accept — under random mutation of valid
+// files (a light structured fuzz, deterministic by seed).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchgen/generators.h"
+#include "common/rng.h"
+#include "io/aiger.h"
+#include "io/blif_reader.h"
+#include "io/blif_writer.h"
+#include "io/pla_reader.h"
+#include "sat/dimacs.h"
+
+namespace step {
+namespace {
+
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string s = base;
+  const int edits = rng.next_int(1, 4);
+  for (int e = 0; e < edits; ++e) {
+    if (s.empty()) break;
+    const std::size_t pos = rng.next_below(s.size());
+    switch (rng.next_int(0, 3)) {
+      case 0:  // flip a character
+        s[pos] = static_cast<char>(' ' + rng.next_int(0, 94));
+        break;
+      case 1:  // delete a span
+        s.erase(pos, rng.next_int(1, 8));
+        break;
+      case 2:  // duplicate a span
+        s.insert(pos, s.substr(pos, rng.next_int(1, 8)));
+        break;
+      case 3:  // truncate
+        s.resize(pos);
+        break;
+    }
+  }
+  return s;
+}
+
+template <typename ParseFn>
+void fuzz(const std::string& valid, ParseFn parse, int rounds, int seed) {
+  // The valid input must parse...
+  EXPECT_NO_THROW(parse(valid));
+  // ...and no mutation may do anything but succeed or throw runtime_error.
+  Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    const std::string m = mutate(valid, rng);
+    try {
+      parse(m);
+    } catch (const std::runtime_error&) {
+      // expected failure mode
+    }
+  }
+}
+
+TEST(Robustness, BlifParserSurvivesMutation) {
+  const std::string valid = io::write_blif(benchgen::ripple_adder(3), "m");
+  fuzz(valid, [](const std::string& s) { return io::parse_blif(s); }, 400, 1);
+}
+
+TEST(Robustness, BlifElaborationSurvivesMutation) {
+  const std::string valid = io::write_blif(benchgen::comparator(3), "m");
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::string m = mutate(valid, rng);
+    try {
+      io::parse_blif(m).to_aig();
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(Robustness, AigerParserSurvivesMutation) {
+  const std::string valid = io::write_aiger(benchgen::parity_tree(5));
+  fuzz(valid, [](const std::string& s) { return io::parse_aiger(s); }, 400, 3);
+}
+
+TEST(Robustness, PlaParserSurvivesMutation) {
+  const std::string valid =
+      ".i 4\n.o 2\n.ilb a b c d\n.ob f g\n"
+      "1-0- 10\n-11- 11\n0001 01\n.e\n";
+  fuzz(valid, [](const std::string& s) { return io::parse_pla(s); }, 400, 4);
+}
+
+TEST(Robustness, PlaElaborationSurvivesMutation) {
+  const std::string valid = ".i 3\n.o 1\n110 1\n0-1 1\n.e\n";
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string m = mutate(valid, rng);
+    try {
+      io::parse_pla(m).to_aig();
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(Robustness, DimacsParserSurvivesMutation) {
+  const std::string valid = "p cnf 4 3\n1 -2 0\n2 3 -4 0\n-1 4 0\n";
+  fuzz(valid, [](const std::string& s) { return sat::parse_dimacs(s); }, 400, 6);
+}
+
+TEST(Robustness, WritersAlwaysReparse) {
+  // Property: whatever circuit we generate, writer output re-parses.
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const aig::Aig a = benchgen::random_dag(rng.next_int(2, 8),
+                                            rng.next_int(2, 40),
+                                            rng.next_int(1, 6), rng.next());
+    EXPECT_NO_THROW(io::parse_blif(io::write_blif(a)).to_aig());
+    EXPECT_NO_THROW(io::parse_aiger(io::write_aiger(a)));
+  }
+}
+
+}  // namespace
+}  // namespace step

@@ -1,0 +1,154 @@
+#include "core/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "benchgen/generators.h"
+#include "cnf/cnf.h"
+#include "cnf/tseitin.h"
+#include "sat/solver.h"
+#include "test_util.h"
+
+namespace step::core {
+namespace {
+
+/// SAT miter: every output of `a` equals the same-index output of `b`.
+bool circuits_equivalent(const aig::Aig& a, const aig::Aig& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  sat::Solver solver;
+  std::vector<sat::Lit> in(a.num_inputs());
+  for (auto& l : in) l = sat::mk_lit(solver.new_var());
+  cnf::SolverSink sink(solver);
+  sat::LitVec any_diff;
+  for (std::uint32_t o = 0; o < a.num_outputs(); ++o) {
+    const sat::Lit la = cnf::encode_cone(a, a.output(o), in, sink);
+    const sat::Lit lb = cnf::encode_cone(b, b.output(o), in, sink);
+    // d <-> la xor lb
+    const sat::Lit d = sat::mk_lit(solver.new_var());
+    sink.add_ternary(~d, la, lb);
+    sink.add_ternary(~d, ~la, ~lb);
+    sink.add_ternary(d, ~la, lb);
+    sink.add_ternary(d, la, ~lb);
+    any_diff.push_back(d);
+  }
+  solver.add_clause(any_diff);
+  return solver.solve() == sat::Result::kUnsat;
+}
+
+SynthesisOptions fast_opts() {
+  SynthesisOptions o;
+  o.engine = Engine::kMg;  // fast heuristic partitions for tests
+  return o;
+}
+
+TEST(Synthesis, PreservesFunctionOnSop) {
+  const aig::Aig circ = benchgen::random_sop(4, 4, 2, 5, 4, 0xfeed);
+  const SynthesisResult r = resynthesize(circ, fast_opts());
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+  EXPECT_GT(r.stats.decompositions, 0);
+  EXPECT_EQ(r.stats.pos_processed, 5);
+}
+
+TEST(Synthesis, PreservesFunctionOnMux) {
+  const aig::Aig circ = benchgen::mux_tree(3);
+  const SynthesisResult r = resynthesize(circ, fast_opts());
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+}
+
+TEST(Synthesis, PreservesFunctionOnAdder) {
+  const aig::Aig circ = benchgen::ripple_adder(4);
+  const SynthesisResult r = resynthesize(circ, fast_opts());
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+  // Sum bits are XOR-decomposable: some decompositions must happen.
+  EXPECT_GT(r.stats.decompositions, 0);
+}
+
+TEST(Synthesis, ParityBecomesXorTree) {
+  const aig::Aig circ = benchgen::parity_tree(8);
+  SynthesisOptions o = fast_opts();
+  const SynthesisResult r = resynthesize(circ, o);
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+  // Parity of 8 decomposes all the way down: 7 XOR gates, no leaves with
+  // support above the threshold.
+  EXPECT_EQ(r.stats.undecomposable, 0);
+  EXPECT_GE(r.stats.decompositions, 3);
+}
+
+TEST(Synthesis, UndecomposableLeavesAreCopied) {
+  // maj3 has no non-trivial bi-decomposition for any op: it must be
+  // emitted as a leaf and still be correct.
+  aig::Aig circ;
+  const aig::Lit x = circ.add_input("x");
+  const aig::Lit y = circ.add_input("y");
+  const aig::Lit z = circ.add_input("z");
+  circ.add_output(circ.lor(circ.lor(circ.land(x, y), circ.land(x, z)),
+                           circ.land(y, z)),
+                  "maj");
+  const SynthesisResult r = resynthesize(circ, fast_opts());
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+  EXPECT_EQ(r.stats.undecomposable, 1);
+  EXPECT_EQ(r.stats.decompositions, 0);
+}
+
+TEST(Synthesis, QbfEngineBalancedTreesAreShallower) {
+  // With QDB partitions the resulting gate tree of a wide OR chain should
+  // be no deeper than the input's linear chain.
+  aig::Aig circ;
+  std::vector<aig::Lit> xs;
+  for (int i = 0; i < 12; ++i) xs.push_back(circ.add_input());
+  aig::Lit chain = aig::kLitFalse;
+  for (aig::Lit l : xs) chain = circ.lor(chain, l);  // depth ~12
+  circ.add_output(chain, "or12");
+
+  SynthesisOptions o;
+  o.engine = Engine::kQbfCombined;
+  o.per_node.optimum.call_timeout_s = 5.0;
+  const SynthesisResult r = resynthesize(circ, o);
+  EXPECT_TRUE(circuits_equivalent(circ, r.network));
+  EXPECT_LT(r.stats.depth_after, r.stats.depth_before);
+}
+
+class SynthesisRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisRandom, RandomConesStayEquivalent) {
+  Rng rng(GetParam() * 3571 + 77);
+  for (int iter = 0; iter < 6; ++iter) {
+    aig::Aig circ;
+    std::vector<aig::Lit> pool;
+    const int n = rng.next_int(3, 7);
+    for (int i = 0; i < n; ++i) pool.push_back(circ.add_input());
+    for (int g = 0; g < rng.next_int(5, 25); ++g) {
+      const aig::Lit f0 =
+          pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      const aig::Lit f1 =
+          pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+      pool.push_back(circ.land(f0, f1));
+    }
+    for (int o = 0; o < 3; ++o) {
+      circ.add_output(pool[pool.size() - 1 - o]);
+    }
+    const SynthesisResult r = resynthesize(circ, fast_opts());
+    EXPECT_TRUE(circuits_equivalent(circ, r.network))
+        << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisRandom, ::testing::Range(0, 6));
+
+TEST(ConeDepth, CountsAndLevels) {
+  aig::Aig a;
+  const aig::Lit x = a.add_input();
+  const aig::Lit y = a.add_input();
+  const aig::Lit z = a.add_input();
+  EXPECT_EQ(cone_depth(a, x), 0);
+  const aig::Lit g1 = a.land(x, y);
+  const aig::Lit g2 = a.land(g1, z);
+  EXPECT_EQ(cone_depth(a, g1), 1);
+  EXPECT_EQ(cone_depth(a, g2), 2);
+  EXPECT_EQ(cone_depth(a, aig::kLitTrue), 0);
+}
+
+}  // namespace
+}  // namespace step::core

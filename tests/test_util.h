@@ -1,0 +1,46 @@
+#pragma once
+
+#include "aig/simulate.h"
+#include "common/rng.h"
+#include "core/bidec_types.h"
+
+namespace step::testutil {
+
+/// Random single-output cone with exactly n inputs, all structurally used
+/// or not — callers that need full support should retry or accept subsets.
+inline core::Cone random_cone(int n, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  core::Cone cone;
+  std::vector<aig::Lit> pool;
+  for (int i = 0; i < n; ++i) pool.push_back(cone.aig.add_input());
+  for (int g = 0; g < gates; ++g) {
+    const aig::Lit f0 =
+        pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+    const aig::Lit f1 =
+        pool[rng.next_below(pool.size())] ^ (rng.next_bool() ? 1u : 0u);
+    pool.push_back(cone.aig.land(f0, f1));
+  }
+  cone.root = pool.back() ^ (rng.next_bool() ? 1u : 0u);
+  return cone;
+}
+
+/// Random partition over n positions (may be trivial).
+inline core::Partition random_partition(int n, Rng& rng) {
+  core::Partition p;
+  p.cls.resize(n);
+  for (int i = 0; i < n; ++i) {
+    p.cls[i] = static_cast<core::VarClass>(rng.next_int(0, 2));
+  }
+  return p;
+}
+
+/// Exhaustive check that two literals in (possibly different) AIGs with
+/// the same number of inputs compute the same function (n <= 16).
+inline bool equivalent_by_simulation(const aig::Aig& a1, aig::Lit r1,
+                                     const aig::Aig& a2, aig::Lit r2, int n) {
+  std::vector<std::uint32_t> support(n);
+  for (int i = 0; i < n; ++i) support[i] = i;
+  return aig::truth_table(a1, r1, support) == aig::truth_table(a2, r2, support);
+}
+
+}  // namespace step::testutil

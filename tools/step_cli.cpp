@@ -1,0 +1,172 @@
+// step — command-line front end mirroring the paper's tool
+// ("STEP — Satisfiability-based funcTion dEcomPosition").
+//
+// Usage:
+//   step decompose <circuit.blif> [options]   per-PO bi-decomposition report
+//   step resynth   <circuit.blif> [options]   recursive resynthesis -> BLIF
+//   step stats     <circuit.blif>             circuit statistics
+//
+// Options:
+//   -op or|and|xor        top gate (default or)
+//   -engine ljh|mg|qd|qb|qdb   partition engine (default qd)
+//   -timeout <s>          per-circuit budget (default 60)
+//   -qbf-timeout <s>      per-QBF-call budget (default 1.0)
+//   -o <out.blif>         output file for resynth (default stdout)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/circuit_driver.h"
+#include "core/synthesis.h"
+#include "io/blif_reader.h"
+#include "io/blif_writer.h"
+#include "io/comb.h"
+
+namespace {
+
+using namespace step;
+
+struct CliOptions {
+  std::string command;
+  std::string input;
+  std::string output;
+  core::GateOp op = core::GateOp::kOr;
+  core::Engine engine = core::Engine::kQbfDisjoint;
+  double timeout_s = 60.0;
+  double qbf_timeout_s = 1.0;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: step <decompose|resynth|stats> <circuit.blif>\n"
+               "  -op or|and|xor  -engine ljh|mg|qd|qb|qdb\n"
+               "  -timeout <s>  -qbf-timeout <s>  -o <out.blif>\n");
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions cli;
+  if (argc < 3) usage();
+  cli.command = argv[1];
+  cli.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "-op") {
+      const std::string v = value();
+      cli.op = v == "and" ? core::GateOp::kAnd
+                          : v == "xor" ? core::GateOp::kXor : core::GateOp::kOr;
+    } else if (flag == "-engine") {
+      const std::string v = value();
+      if (v == "ljh") cli.engine = core::Engine::kLjh;
+      else if (v == "mg") cli.engine = core::Engine::kMg;
+      else if (v == "qb") cli.engine = core::Engine::kQbfBalanced;
+      else if (v == "qdb") cli.engine = core::Engine::kQbfCombined;
+      else cli.engine = core::Engine::kQbfDisjoint;
+    } else if (flag == "-timeout") {
+      cli.timeout_s = std::atof(value());
+    } else if (flag == "-qbf-timeout") {
+      cli.qbf_timeout_s = std::atof(value());
+    } else if (flag == "-o") {
+      cli.output = value();
+    } else {
+      usage();
+    }
+  }
+  return cli;
+}
+
+int cmd_stats(const io::Network& net, const aig::Aig& circuit) {
+  std::printf("model:     %s\n", net.name.c_str());
+  std::printf("inputs:    %u (%zu PIs + %zu latch outputs)\n",
+              circuit.num_inputs(), net.inputs.size(), net.latches.size());
+  std::printf("outputs:   %u (%zu POs + %zu latch inputs)\n",
+              circuit.num_outputs(), net.outputs.size(), net.latches.size());
+  std::printf("AND gates: %u\n", circuit.num_ands());
+  int in_m = 0;
+  int candidates = 0;
+  for (std::uint32_t po = 0; po < circuit.num_outputs(); ++po) {
+    const core::Cone cone = core::extract_po_cone(circuit, po);
+    in_m = std::max(in_m, cone.n());
+    if (cone.n() >= 2) ++candidates;
+  }
+  std::printf("#InM:      %d (max PO support)\n", in_m);
+  std::printf("POs with support >= 2: %d\n", candidates);
+  return 0;
+}
+
+int cmd_decompose(const CliOptions& cli, const io::Network& net,
+                  const aig::Aig& circuit) {
+  core::DecomposeOptions opts;
+  opts.op = cli.op;
+  opts.engine = cli.engine;
+  opts.optimum.call_timeout_s = cli.qbf_timeout_s;
+  const core::CircuitRunResult run =
+      core::run_circuit(circuit, net.name, opts, cli.timeout_s);
+
+  std::printf("%-6s %8s %6s %7s %7s %8s %9s\n", "po", "support", "dec",
+              "eD", "eB", "optimal", "cpu(s)");
+  for (const core::PoOutcome& po : run.pos) {
+    const char* status =
+        po.status == core::DecomposeStatus::kDecomposed
+            ? "yes"
+            : po.status == core::DecomposeStatus::kNotDecomposable ? "no"
+                                                                   : "t/o";
+    std::printf("%-6d %8d %6s", po.po_index, po.support, status);
+    if (po.status == core::DecomposeStatus::kDecomposed) {
+      std::printf(" %7.3f %7.3f %8s", po.metrics.disjointness(),
+                  po.metrics.balancedness(), po.proven_optimal ? "yes" : "-");
+    } else {
+      std::printf(" %7s %7s %8s", "-", "-", "-");
+    }
+    std::printf(" %9.3f\n", po.cpu_s);
+  }
+  std::printf("# %s %s: %d/%zu decomposed, %d proven optimal, %.2f s\n",
+              core::to_string(cli.engine), core::to_string(cli.op),
+              run.num_decomposed(), run.pos.size(), run.num_proven_optimal(),
+              run.total_cpu_s);
+  return 0;
+}
+
+int cmd_resynth(const CliOptions& cli, const aig::Aig& circuit) {
+  core::SynthesisOptions opts;
+  opts.engine = cli.engine;
+  opts.pick_best_op = true;
+  opts.per_node.optimum.call_timeout_s = cli.qbf_timeout_s;
+  const core::SynthesisResult r = core::resynthesize(circuit, opts);
+  std::fprintf(stderr,
+               "# resynth: %d decompositions, %d leaves (%d atomic);"
+               " ANDs %u -> %u, depth %d -> %d\n",
+               r.stats.decompositions, r.stats.leaves, r.stats.undecomposable,
+               r.stats.ands_before, r.stats.ands_after, r.stats.depth_before,
+               r.stats.depth_after);
+  const std::string text = io::write_blif(r.network, "resynth");
+  if (cli.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    io::write_blif_file(r.network, cli.output, "resynth");
+    std::fprintf(stderr, "# wrote %s\n", cli.output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliOptions cli = parse_args(argc, argv);
+  const io::Network net = io::read_blif_file(cli.input);
+  const aig::Aig circuit = io::to_combinational(net);
+
+  if (cli.command == "stats") return cmd_stats(net, circuit);
+  if (cli.command == "decompose") return cmd_decompose(cli, net, circuit);
+  if (cli.command == "resynth") return cmd_resynth(cli, circuit);
+  usage();
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "step: %s\n", e.what());
+  return 1;
+}
