@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,38 @@
 #include "core/circuit_driver.h"
 
 namespace step::bench {
+
+/// Parses `-j <n>` from argv, falling back to STEP_BENCH_THREADS, then to
+/// 1 (the sequential reference run). 0 means "all hardware threads".
+/// Rejects missing or non-numeric values loudly: a silently mis-parsed
+/// thread count would skew the published table numbers.
+inline core::ParallelDriverOptions parallel_from_env_or_args(int argc,
+                                                             char** argv) {
+  auto parse_count = [](const char* what, const char* text) {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "%s: expected a thread count >= 0, got \"%s\"\n",
+                   what, text);
+      std::exit(2);
+    }
+    return static_cast<int>(v);
+  };
+  core::ParallelDriverOptions par;
+  if (const char* env = std::getenv("STEP_BENCH_THREADS")) {
+    par.num_threads = parse_count("STEP_BENCH_THREADS", env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-j") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "-j: missing thread count\n");
+        std::exit(2);
+      }
+      par.num_threads = parse_count("-j", argv[++i]);
+    }
+  }
+  return par;
+}
 
 /// Budgets scaled to the suite size (the paper: 6000 s per circuit, 4 s per
 /// QBF call on a 2.93 GHz Xeon; our suite is ~100x smaller).
@@ -44,12 +78,13 @@ inline core::DecomposeOptions engine_options(core::Engine engine,
 /// One engine across the whole suite.
 inline std::vector<core::CircuitRunResult> run_suite(
     const std::vector<benchgen::BenchCircuit>& suite, core::Engine engine,
-    core::GateOp op, const BenchBudgets& b) {
+    core::GateOp op, const BenchBudgets& b,
+    const core::ParallelDriverOptions& par = {}) {
   std::vector<core::CircuitRunResult> out;
   out.reserve(suite.size());
   for (const benchgen::BenchCircuit& c : suite) {
     out.push_back(core::run_circuit(
-        c.aig, c.name, engine_options(engine, op, b), b.circuit_s));
+        c.aig, c.name, engine_options(engine, op, b), b.circuit_s, par));
   }
   return out;
 }

@@ -6,15 +6,18 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace step;
   using core::Engine;
 
   const auto scale = benchgen::scale_from_env();
   const auto suite = benchgen::standard_suite(scale);
   const auto budgets = bench::budgets_for(scale);
+  const auto par = bench::parallel_from_env_or_args(argc, argv);
   bench::print_preamble("Table III: performance data for OR bi-decomposition",
                         scale);
+  std::printf("# threads per circuit: %d (-j N or STEP_BENCH_THREADS)\n",
+              par.num_threads);
 
   const Engine engines[] = {Engine::kLjh, Engine::kMg, Engine::kQbfDisjoint,
                             Engine::kQbfBalanced, Engine::kQbfCombined};
@@ -34,7 +37,7 @@ int main() {
     for (int e = 0; e < 5; ++e) {
       const core::CircuitRunResult r = core::run_circuit(
           c.aig, c.name, bench::engine_options(engines[e], core::GateOp::kOr, budgets),
-          budgets.circuit_s);
+          budgets.circuit_s, par);
       if (first) {
         std::printf(" %5d |", r.max_support());
         first = false;

@@ -9,12 +9,13 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace step;
   using core::Engine;
 
   const auto scale = benchgen::scale_from_env();
   const auto suite = benchgen::standard_suite(scale);
+  const auto par = bench::parallel_from_env_or_args(argc, argv);
   auto budgets = bench::budgets_for(scale);
   // Table IV exists because of the QBF timeout: use a deliberately tight
   // per-call budget so the hardest cones time out here like in the paper.
@@ -36,7 +37,7 @@ int main() {
     long decomposed = 0, proven = 0, pos = 0;
     for (const benchgen::BenchCircuit& c : suite) {
       const auto r = bench::run_suite({c}, engines[e], core::GateOp::kOr,
-                                      budgets)[0];
+                                      budgets, par)[0];
       pos += static_cast<long>(r.pos.size());
       decomposed += r.num_decomposed();
       proven += r.num_proven_optimal();

@@ -1,0 +1,130 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace step {
+
+namespace {
+
+/// Index of the pool-local worker running on this thread, or -1 when the
+/// calling thread is external. Keyed per pool via the pointer check in
+/// submit(); a thread belongs to at most one pool.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_id = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::resolve_num_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  STEP_CHECK(job != nullptr);
+  // A worker submitting nested work pushes to its own deque (LIFO pop keeps
+  // it cache-warm); external threads round-robin across workers.
+  const int home = (tls_pool == this) ? tls_worker_id : -1;
+  const std::size_t q =
+      home >= 0 ? static_cast<std::size_t>(home)
+                : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->jobs.push_back(std::move(job));
+  }
+  {
+    // queued_ must change under wake_mu_: a worker that just evaluated the
+    // wait predicate false still holds the mutex, so without this lock the
+    // notify below could fire before it blocks and be lost for good.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(int id, std::function<void()>& out) {
+  // Own queue first, newest job (LIFO)...
+  {
+    WorkerQueue& own = *queues_[id];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.jobs.empty()) {
+      out = std::move(own.jobs.back());
+      own.jobs.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ...then steal the oldest job from a victim.
+  const int n = static_cast<int>(queues_.size());
+  for (int k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(id + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.jobs.empty()) {
+      out = std::move(victim.jobs.front());
+      victim.jobs.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_job(std::function<void()>& job) {
+  job();
+  job = nullptr;  // release captures before signalling completion
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_main(int id) {
+  tls_pool = this;
+  tls_worker_id = id;
+  std::function<void()> job;
+  for (;;) {
+    if (try_acquire(id, job)) {
+      run_job(job);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+    wake_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace step

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace step {
+
+/// Small work-stealing thread pool for fanning out independent solver jobs
+/// (one per PO cone in the circuit driver; see core/circuit_driver.h).
+///
+/// Each worker owns a deque: it pops its own jobs LIFO (cache-warm) and
+/// steals from other workers FIFO (oldest first), so a worker that drew a
+/// hard QBF cone does not serialize the rest of the circuit behind it.
+/// Jobs must not share mutable state unless they synchronize themselves —
+/// the decomposition engines qualify because every BiDecomposer call owns
+/// its private Solver/CEGAR contexts.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queued job, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe from any thread; a job submitted from inside a
+  /// worker lands on that worker's own deque.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job (including ones submitted while
+  /// waiting) has finished. The pool is reusable afterwards.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Resolves a user-facing `-j` request: n >= 1 is taken literally,
+  /// anything else means "one worker per hardware thread".
+  static int resolve_num_threads(int requested);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void worker_main(int id);
+  bool try_acquire(int id, std::function<void()>& out);
+  void run_job(std::function<void()>& job);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  ///< signals workers: job queued / stop
+  std::condition_variable idle_cv_;  ///< signals wait_idle(): all jobs done
+
+  std::atomic<int> queued_{0};    ///< jobs sitting in some deque
+  std::atomic<int> in_flight_{0};  ///< submitted, not yet completed
+  std::atomic<unsigned> next_queue_{0};
+  bool stop_ = false;  ///< guarded by wake_mu_
+};
+
+}  // namespace step

@@ -1,6 +1,10 @@
 #include "core/circuit_driver.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "aig/support.h"
+#include "common/thread_pool.h"
 
 namespace step::core {
 
@@ -26,7 +30,8 @@ int CircuitRunResult::max_support() const {
 
 CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                              const DecomposeOptions& opts,
-                             double circuit_budget_s) {
+                             double circuit_budget_s,
+                             const ParallelDriverOptions& par) {
   CircuitRunResult result;
   result.circuit = name;
   result.engine = opts.engine;
@@ -35,33 +40,68 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
   Timer total;
   Deadline circuit_deadline(circuit_budget_s);
 
+  // Candidate scan is a cheap structural walk over the shared circuit;
+  // the cones themselves are extracted inside the jobs so only the cones
+  // currently being decomposed are materialized (not the whole circuit's
+  // worth at once).
+  struct PoJob {
+    std::uint32_t po;
+    int support;
+  };
+  std::vector<PoJob> jobs;
   for (std::uint32_t po = 0; po < circuit.num_outputs(); ++po) {
-    const Cone cone = extract_po_cone(circuit, po);
-    if (cone.n() < 2) continue;  // constants and wires are not decomposable
+    const int support = static_cast<int>(
+        aig::structural_support(circuit, circuit.output(po)).size());
+    if (support < 2) continue;  // constants and wires are not decomposable
+    jobs.push_back(PoJob{po, support});
+  }
 
-    PoOutcome outcome;
-    outcome.po_index = static_cast<int>(po);
-    outcome.support = cone.n();
+  // Slot per job: workers write disjoint entries, so aggregation is
+  // deterministic (PO order) regardless of completion order.
+  result.pos.resize(jobs.size());
+  std::atomic<bool> hit_budget{false};
+
+  auto run_one = [&](std::size_t j) {
+    const PoJob& job = jobs[j];
+    PoOutcome& outcome = result.pos[j];
+    outcome.po_index = static_cast<int>(job.po);
+    outcome.support = job.support;
 
     if (circuit_deadline.expired()) {
-      result.hit_circuit_budget = true;
+      hit_budget.store(true, std::memory_order_relaxed);
       outcome.status = DecomposeStatus::kUnknown;
-      result.pos.push_back(outcome);
-      continue;
+      return;
     }
 
     // Respect both the per-PO budget and the remaining circuit budget.
+    // Each call owns its private cone and Solver/CEGAR contexts, so
+    // workers share nothing but the read-only circuit and the deadline.
     DecomposeOptions po_opts = opts;
     po_opts.po_budget_s =
         std::min(opts.po_budget_s, circuit_deadline.remaining_s());
 
+    const Cone cone = extract_po_cone(circuit, job.po);
     const DecomposeResult r = BiDecomposer(po_opts).decompose(cone);
     outcome.status = r.status;
     outcome.metrics = r.metrics;
     outcome.proven_optimal = r.proven_optimal;
     outcome.cpu_s = r.cpu_s;
-    result.pos.push_back(outcome);
+  };
+
+  const int threads =
+      std::min(ThreadPool::resolve_num_threads(par.num_threads),
+               std::max<int>(1, static_cast<int>(jobs.size())));
+  if (threads <= 1) {
+    for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      pool.submit([&run_one, j] { run_one(j); });
+    }
+    pool.wait_idle();
   }
+
+  result.hit_circuit_budget = hit_budget.load(std::memory_order_relaxed);
   result.total_cpu_s = total.elapsed_s();
   return result;
 }

@@ -32,11 +32,26 @@ struct CircuitRunResult {
   int max_support() const;  ///< the paper's #InM
 };
 
+/// Fan-out policy of run_circuit. Per-PO decomposition jobs are
+/// independent (each BiDecomposer call owns its private Solver/CEGAR
+/// contexts), so they are distributed over a work-stealing pool; results
+/// are merged back in PO order, making the parallel run's per-PO outcomes
+/// identical to the sequential run's whenever no budget expires mid-run.
+struct ParallelDriverOptions {
+  /// Worker threads decomposing POs concurrently. 1 = run inline in the
+  /// calling thread (the reference sequential path); 0 or negative = one
+  /// worker per hardware thread.
+  int num_threads = 1;
+};
+
 /// Runs one engine over all POs of `circuit`. `circuit_budget_s` mirrors
-/// the paper's per-circuit timeout (6000 s there; scaled down here).
+/// the paper's per-circuit timeout (6000 s there; scaled down here) and is
+/// a cooperative wall-clock budget shared by all workers: once it expires,
+/// remaining POs are reported as kUnknown.
 CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                              const DecomposeOptions& opts,
-                             double circuit_budget_s);
+                             double circuit_budget_s,
+                             const ParallelDriverOptions& par = {});
 
 /// Quality comparison between two engines on the same circuit/op —
 /// the %-better / %-equal columns of Tables I and II. POs are compared

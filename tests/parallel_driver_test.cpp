@@ -1,0 +1,184 @@
+// Thread pool unit tests plus the parallel-driver determinism contract:
+// run_circuit with N > 1 workers must report exactly the per-PO outcomes
+// of the sequential reference run (budgets permitting), because per-PO
+// jobs share no solver state and results are merged in PO order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "benchgen/generators.h"
+#include "benchgen/suite.h"
+#include "common/thread_pool.h"
+#include "core/circuit_driver.h"
+
+namespace step {
+namespace {
+
+// ---------- ThreadPool ----------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleWithNoJobsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ReusableAcrossWaitIdleRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletesBeforeWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &count] {
+      for (int k = 0; k < 10; ++k) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle(): the destructor must drain the deques before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(ThreadPool::resolve_num_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(7), 7);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1);
+  EXPECT_GE(ThreadPool::resolve_num_threads(-3), 1);
+}
+
+// ---------- parallel run_circuit -----------------------------------------
+
+// Everything except wall-clock timing must match between runs.
+void expect_same_outcomes(const core::CircuitRunResult& a,
+                          const core::CircuitRunResult& b) {
+  ASSERT_EQ(a.pos.size(), b.pos.size());
+  EXPECT_EQ(a.hit_circuit_budget, b.hit_circuit_budget);
+  for (std::size_t i = 0; i < a.pos.size(); ++i) {
+    SCOPED_TRACE("po slot " + std::to_string(i));
+    EXPECT_EQ(a.pos[i].po_index, b.pos[i].po_index);
+    EXPECT_EQ(a.pos[i].support, b.pos[i].support);
+    EXPECT_EQ(a.pos[i].status, b.pos[i].status);
+    EXPECT_EQ(a.pos[i].proven_optimal, b.pos[i].proven_optimal);
+    EXPECT_EQ(a.pos[i].metrics.n, b.pos[i].metrics.n);
+    EXPECT_EQ(a.pos[i].metrics.shared, b.pos[i].metrics.shared);
+    EXPECT_EQ(a.pos[i].metrics.imbalance, b.pos[i].metrics.imbalance);
+  }
+}
+
+core::DecomposeOptions generous_opts(core::Engine engine, core::GateOp op) {
+  core::DecomposeOptions o;
+  o.engine = engine;
+  o.op = op;
+  // Budgets far above what these small cones need, so no timeout can leak
+  // nondeterminism into the comparison.
+  o.po_budget_s = 60.0;
+  o.optimum.call_timeout_s = 10.0;
+  return o;
+}
+
+TEST(ParallelDriver, MatchesSequentialRunAcrossEngines) {
+  const aig::Aig circ = benchgen::random_sop(3, 3, 2, 6, 4, 0x5eed);
+  const core::Engine engines[] = {core::Engine::kMg,
+                                  core::Engine::kQbfDisjoint,
+                                  core::Engine::kQbfCombined};
+  for (core::Engine e : engines) {
+    SCOPED_TRACE(core::to_string(e));
+    const auto opts = generous_opts(e, core::GateOp::kOr);
+    const auto seq = core::run_circuit(circ, "sop", opts, 600.0, {1});
+    const auto par = core::run_circuit(circ, "sop", opts, 600.0, {4});
+    expect_same_outcomes(seq, par);
+    EXPECT_GT(seq.pos.size(), 0u);
+  }
+}
+
+TEST(ParallelDriver, MatchesSequentialOnStructuredCircuits) {
+  const aig::Aig circuits[] = {benchgen::ripple_adder(4),
+                               benchgen::comparator(4),
+                               benchgen::priority_encoder(5)};
+  for (const aig::Aig& c : circuits) {
+    const auto opts =
+        generous_opts(core::Engine::kQbfDisjoint, core::GateOp::kOr);
+    const auto seq = core::run_circuit(c, "c", opts, 600.0, {1});
+    const auto par = core::run_circuit(c, "c", opts, 600.0, {3});
+    expect_same_outcomes(seq, par);
+  }
+}
+
+TEST(ParallelDriver, ExpiredCircuitBudgetReportsUnknownEverywhere) {
+  const aig::Aig circ = benchgen::random_sop(3, 3, 2, 5, 4, 0xbead);
+  const auto opts =
+      generous_opts(core::Engine::kQbfDisjoint, core::GateOp::kOr);
+  // A budget this small expires before the first deadline check, on every
+  // worker, so all POs must come back kUnknown in both modes.
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const auto r = core::run_circuit(circ, "sop", opts, 1e-9, {threads});
+    EXPECT_TRUE(r.hit_circuit_budget);
+    ASSERT_GT(r.pos.size(), 0u);
+    for (const core::PoOutcome& po : r.pos) {
+      EXPECT_EQ(po.status, core::DecomposeStatus::kUnknown);
+    }
+  }
+}
+
+TEST(ParallelDriver, ZeroThreadsMeansHardwareConcurrency) {
+  const aig::Aig circ = benchgen::parity_tree(6);
+  const auto opts = generous_opts(core::Engine::kMg, core::GateOp::kXor);
+  const auto seq = core::run_circuit(circ, "par", opts, 600.0, {1});
+  const auto par = core::run_circuit(circ, "par", opts, 600.0, {0});
+  expect_same_outcomes(seq, par);
+}
+
+// TSan/ASan-friendly stress: the whole tiny benchgen suite with more
+// workers than cores, repeatedly, across all three gate ops.
+TEST(ParallelDriver, StressTinySuiteManyThreads) {
+  const auto suite = benchgen::standard_suite(benchgen::SuiteScale::kTiny);
+  ASSERT_GT(suite.size(), 0u);
+  const core::GateOp ops[] = {core::GateOp::kOr, core::GateOp::kAnd,
+                              core::GateOp::kXor};
+  for (const benchgen::BenchCircuit& c : suite) {
+    for (core::GateOp op : ops) {
+      core::DecomposeOptions opts = generous_opts(core::Engine::kMg, op);
+      opts.po_budget_s = 2.0;
+      const auto seq = core::run_circuit(c.aig, c.name, opts, 120.0, {1});
+      const auto par = core::run_circuit(c.aig, c.name, opts, 120.0, {8});
+      expect_same_outcomes(seq, par);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace step

@@ -11,6 +11,7 @@
 //   -engine ljh|mg|qd|qb|qdb   partition engine (default qd)
 //   -timeout <s>          per-circuit budget (default 60)
 //   -qbf-timeout <s>      per-QBF-call budget (default 1.0)
+//   -j <n>                worker threads for decompose (0 = all cores)
 //   -o <out.blif>         output file for resynth (default stdout)
 
 #include <cstdio>
@@ -36,13 +37,14 @@ struct CliOptions {
   core::Engine engine = core::Engine::kQbfDisjoint;
   double timeout_s = 60.0;
   double qbf_timeout_s = 1.0;
+  int num_threads = 1;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: step <decompose|resynth|stats> <circuit.blif>\n"
                "  -op or|and|xor  -engine ljh|mg|qd|qb|qdb\n"
-               "  -timeout <s>  -qbf-timeout <s>  -o <out.blif>\n");
+               "  -timeout <s>  -qbf-timeout <s>  -j <threads>  -o <out.blif>\n");
   std::exit(2);
 }
 
@@ -72,6 +74,8 @@ CliOptions parse_args(int argc, char** argv) {
       cli.timeout_s = std::atof(value());
     } else if (flag == "-qbf-timeout") {
       cli.qbf_timeout_s = std::atof(value());
+    } else if (flag == "-j") {
+      cli.num_threads = std::atoi(value());
     } else if (flag == "-o") {
       cli.output = value();
     } else {
@@ -106,8 +110,10 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   opts.op = cli.op;
   opts.engine = cli.engine;
   opts.optimum.call_timeout_s = cli.qbf_timeout_s;
+  core::ParallelDriverOptions par;
+  par.num_threads = cli.num_threads;
   const core::CircuitRunResult run =
-      core::run_circuit(circuit, net.name, opts, cli.timeout_s);
+      core::run_circuit(circuit, net.name, opts, cli.timeout_s, par);
 
   std::printf("%-6s %8s %6s %7s %7s %8s %9s\n", "po", "support", "dec",
               "eD", "eB", "optimal", "cpu(s)");
