@@ -6,7 +6,8 @@
 //      MD/Bin/MI loop affordable,
 //   3. the single-clause refinement fast path vs generic Tseitin,
 //   4. MG bootstrapping of the upper bound (Section IV.A.6),
-//   5. search strategy schedules (MI vs MD vs Bin vs the composite).
+//   5. search strategy schedules (MI vs MD vs Bin vs the composite),
+//   6. the persistent incremental solver pair vs scratch rebuild per bound.
 // Metrics: total QBF solver calls, total CEGAR iterations (via pool size),
 // and wall time over a fixed set of decomposable cones.
 
@@ -97,6 +98,11 @@ int main() {
     core::QbfFinderOptions f = base_f;
     f.pool_seeding = false;
     report("- countermodel pool", run_config(w, f, base_o, true));
+  }
+  {
+    core::QbfFinderOptions f = base_f;
+    f.incremental = false;
+    report("- incremental (scratch)", run_config(w, f, base_o, true));
   }
   {
     core::QbfFinderOptions f = base_f;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,94 @@
 #include "core/circuit_driver.h"
 
 namespace step::bench {
+
+/// Parses `--json <path>` from argv; empty string = no JSON output.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json: missing output path\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Tiny streaming JSON writer — just enough structure for the bench
+/// artifacts (objects, arrays, scalars), so the perf trajectory files are
+/// machine-readable without pulling in a JSON dependency.
+class JsonWriter {
+ public:
+  explicit JsonWriter(FILE* f) : f_(f) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    separate();
+    write_string(k);
+    std::fputc(':', f_);
+    pending_value_ = true;
+  }
+
+  void value(const char* s) { scalar(); write_string(s); }
+  void value(const std::string& s) { value(s.c_str()); }
+  void value(double d) { scalar(); std::fprintf(f_, "%.6f", d); }
+  void value(long long i) { scalar(); std::fprintf(f_, "%lld", i); }
+  void value(std::uint64_t i) {
+    scalar();
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(i));
+  }
+  void value(int i) { value(static_cast<long long>(i)); }
+  void value(long i) { value(static_cast<long long>(i)); }
+  void value(bool b) { scalar(); std::fputs(b ? "true" : "false", f_); }
+
+  template <typename T>
+  void kv(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    std::fputc(c, f_);
+    nonempty_.push_back(false);
+  }
+  void close(char c) {
+    nonempty_.pop_back();
+    std::fputc(c, f_);
+  }
+  void scalar() { separate(); }
+  /// Emits the comma before a sibling element; a value right after key()
+  /// is not a sibling.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!nonempty_.empty()) {
+      if (nonempty_.back()) std::fputc(',', f_);
+      nonempty_.back() = true;
+    }
+  }
+  void write_string(const char* s) {
+    std::fputc('"', f_);
+    for (; *s != '\0'; ++s) {
+      if (*s == '"' || *s == '\\') std::fputc('\\', f_);
+      std::fputc(*s, f_);
+    }
+    std::fputc('"', f_);
+  }
+
+  FILE* f_;
+  std::vector<bool> nonempty_;
+  bool pending_value_ = false;
+};
 
 /// Parses `-j <n>` from argv, falling back to STEP_BENCH_THREADS, then to
 /// 1 (the sequential reference run). 0 means "all hardware threads".
@@ -41,6 +130,20 @@ inline core::ParallelDriverOptions parallel_from_env_or_args(int argc,
     }
   }
   return par;
+}
+
+/// Emits the common per-run counters of one engine×circuit run as keys of
+/// the currently open JSON object.
+inline void json_run_stats(JsonWriter& j, const core::CircuitRunResult& r) {
+  j.kv("pos", static_cast<long long>(r.pos.size()));
+  j.kv("decomposed", r.num_decomposed());
+  j.kv("proven_optimal", r.num_proven_optimal());
+  j.kv("cpu_s", r.total_cpu_s);
+  j.kv("sat_calls", r.total_sat_calls());
+  j.kv("qbf_calls", r.total_qbf_calls());
+  j.kv("qbf_iterations", r.total_qbf_iterations());
+  j.kv("abstraction_conflicts", r.total_abstraction_conflicts());
+  j.kv("verification_conflicts", r.total_verification_conflicts());
 }
 
 /// Budgets scaled to the suite size (the paper: 6000 s per circuit, 4 s per

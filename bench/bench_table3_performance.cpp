@@ -1,19 +1,36 @@
 // Reproduces Table III: "Performance data for OR bi-decomposition" —
 // #Dec (functions decomposed) and CPU seconds per circuit for
-// LJH, STEP-MG and STEP-{QD,QB,QDB}.
+// LJH, STEP-MG and STEP-{QD,QB,QDB} — and A/Bs the incremental optimum
+// search (persistent CEGAR solver pair, assumption-activated bounds)
+// against the scratch rebuild-per-query path on the QBF engines.
+//
+// `--json <path>` additionally writes the whole run machine-readably
+// (per-circuit per-engine wall/calls/iterations/conflicts plus the
+// incremental-vs-scratch comparison); CI emits BENCH_table3.json.
 
+#include <array>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 
-int main(int argc, char** argv) {
-  using namespace step;
-  using core::Engine;
+namespace {
 
+using namespace step;
+using core::Engine;
+
+struct EngineCell {
+  core::CircuitRunResult run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto scale = benchgen::scale_from_env();
   const auto suite = benchgen::standard_suite(scale);
   const auto budgets = bench::budgets_for(scale);
   const auto par = bench::parallel_from_env_or_args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::print_preamble("Table III: performance data for OR bi-decomposition",
                         scale);
   std::printf("# threads per circuit: %d (-j N or STEP_BENCH_THREADS)\n",
@@ -21,6 +38,8 @@ int main(int argc, char** argv) {
 
   const Engine engines[] = {Engine::kLjh, Engine::kMg, Engine::kQbfDisjoint,
                             Engine::kQbfBalanced, Engine::kQbfCombined};
+  const Engine qbf_engines[] = {Engine::kQbfDisjoint, Engine::kQbfBalanced,
+                                Engine::kQbfCombined};
 
   std::printf("%-10s %-10s %5s %5s |", "Circuit", "(standin)", "#In", "#InM");
   for (Engine e : engines) {
@@ -28,15 +47,19 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // cells[c][e]: full run result, kept for the JSON artifact.
+  std::vector<std::vector<EngineCell>> cells(suite.size());
   double totals[5] = {};
   int dec_totals[5] = {};
-  for (const benchgen::BenchCircuit& c : suite) {
-    std::printf("%-10s %-10s %5u", c.name.c_str(), c.standin_for.c_str(),
-                c.aig.num_inputs());
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    const benchgen::BenchCircuit& circ = suite[c];
+    std::printf("%-10s %-10s %5u", circ.name.c_str(), circ.standin_for.c_str(),
+                circ.aig.num_inputs());
     bool first = true;
     for (int e = 0; e < 5; ++e) {
-      const core::CircuitRunResult r = core::run_circuit(
-          c.aig, c.name, bench::engine_options(engines[e], core::GateOp::kOr, budgets),
+      core::CircuitRunResult r = core::run_circuit(
+          circ.aig, circ.name,
+          bench::engine_options(engines[e], core::GateOp::kOr, budgets),
           budgets.circuit_s, par);
       if (first) {
         std::printf(" %5d |", r.max_support());
@@ -46,6 +69,7 @@ int main(int argc, char** argv) {
                   r.total_cpu_s);
       totals[e] += r.total_cpu_s;
       dec_totals[e] += r.num_decomposed();
+      cells[c].push_back(EngineCell{std::move(r)});
     }
     std::printf("\n");
     std::fflush(stdout);
@@ -59,5 +83,173 @@ int main(int argc, char** argv) {
       " CPU: MG < QB < QD < QDB among STEP engines; LJH slowest on most\n"
       "# circuits (the paper, like us, has QDB overtake LJH on some rows,"
       " e.g. s38584.1)\n");
+
+  // ---- incremental vs scratch A/B on the optimum-search hot path --------
+  // Isolates exactly the part the two architectures implement differently:
+  // matrices and MG bootstraps are prepared once outside the timer, then
+  // each mode runs the full bound-search schedule over every decomposable-
+  // candidate cone of the suite. Counters are deterministic; wall time is
+  // the minimum of kRepeats runs.
+  std::printf("\n# optimum-search architecture A/B (OR, whole suite,"
+              " search loop only):\n");
+  std::printf("%-10s %-12s %6s %9s %10s %11s %12s\n", "Engine", "mode",
+              "found", "CPU(s)", "qbf_calls", "iterations", "conflicts");
+  struct Workload {
+    core::RelaxationMatrix matrix;
+    std::optional<core::Partition> bootstrap;
+  };
+  std::vector<Workload> work;
+  for (const benchgen::BenchCircuit& circ : suite) {
+    for (std::uint32_t po = 0; po < circ.aig.num_outputs(); ++po) {
+      const core::Cone cone = core::extract_po_cone(circ.aig, po);
+      if (cone.n() < 2) continue;
+      Workload w;
+      w.matrix = core::build_relaxation_matrix(cone, core::GateOp::kOr);
+      core::RelaxationSolver rs(w.matrix);
+      core::MgDecomposer mg(rs);
+      const core::PartitionSearchResult r = mg.find_partition();
+      if (!r.found) continue;  // MG is exact on decomposability
+      w.bootstrap = r.partition;
+      work.push_back(std::move(w));
+    }
+  }
+  std::printf("# workload: %zu decomposable OR cones, MG-bootstrapped\n",
+              work.size());
+  struct AbResult {
+    int found = 0;
+    long qbf_calls = 0;
+    long iterations = 0;
+    std::uint64_t abs_conflicts = 0;
+    std::uint64_t ver_conflicts = 0;
+    double wall_s = 0.0;
+    /// Per-cone (outcome, best_cost, proven_optimal) answers; counters are
+    /// deterministic across repeats, so the first pass's answers stand.
+    std::vector<std::array<int, 3>> answers;
+  };
+  constexpr int kRepeats = 3;
+  AbResult ab[3][2];      // [engine][0=incremental, 1=scratch]
+  long answer_mismatches = 0;  // across all engines
+  for (int e = 0; e < 3; ++e) {
+    const core::QbfModel model = e == 0   ? core::QbfModel::kQD
+                                 : e == 1 ? core::QbfModel::kQB
+                                          : core::QbfModel::kQDB;
+    for (int mode = 0; mode < 2; ++mode) {
+      AbResult& res = ab[e][mode];
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        AbResult pass;
+        Timer t;
+        for (const Workload& w : work) {
+          core::QbfFinderOptions f;
+          f.incremental = (mode == 0);
+          core::OptimumOptions o;
+          o.call_timeout_s = budgets.qbf_call_s;
+          core::QbfPartitionFinder finder(w.matrix, f);
+          core::OptimumSearch search(finder, model, o);
+          const core::OptimumResult r = search.run(w.bootstrap);
+          if (r.outcome == core::OptimumResult::Outcome::kFound) ++pass.found;
+          pass.answers.push_back({static_cast<int>(r.outcome), r.best_cost,
+                                  r.proven_optimal ? 1 : 0});
+          pass.qbf_calls += finder.qbf_calls();
+          pass.iterations += finder.total_iterations();
+          pass.abs_conflicts += finder.abstraction_conflicts();
+          pass.ver_conflicts += finder.verification_conflicts();
+        }
+        pass.wall_s = t.elapsed_s();
+        if (rep == 0 || pass.wall_s < res.wall_s) res = std::move(pass);
+      }
+      std::printf("%-10s %-12s %6d %9.3f %10ld %11ld %12llu\n",
+                  core::to_string(qbf_engines[e]),
+                  mode == 0 ? "incremental" : "scratch", res.found, res.wall_s,
+                  res.qbf_calls, res.iterations,
+                  static_cast<unsigned long long>(res.abs_conflicts +
+                                                  res.ver_conflicts));
+      std::fflush(stdout);
+    }
+    // The real equivalence check: per cone, both architectures must report
+    // the same outcome, optimum cost, and optimality proof.
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (ab[e][0].answers[i] != ab[e][1].answers[i]) ++answer_mismatches;
+    }
+  }
+  std::printf(
+      "# expectation: per engine, incremental <= scratch on CPU and on"
+      " conflicts;\n# answer mismatches (outcome/best_cost/proven_optimal,"
+      " must be 0): %ld\n",
+      answer_mismatches);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    bench::JsonWriter j(f);
+    j.begin_object();
+    j.kv("bench", "table3_performance");
+    j.kv("scale", bench::scale_name(scale));
+    j.kv("threads", par.num_threads);
+    j.kv("op", "or");
+    j.key("circuits");
+    j.begin_array();
+    for (std::size_t c = 0; c < suite.size(); ++c) {
+      j.begin_object();
+      j.kv("name", suite[c].name);
+      j.kv("standin_for", suite[c].standin_for);
+      j.kv("inputs", static_cast<long long>(suite[c].aig.num_inputs()));
+      j.kv("max_support", cells[c][0].run.max_support());
+      j.key("engines");
+      j.begin_array();
+      for (int e = 0; e < 5; ++e) {
+        j.begin_object();
+        j.kv("engine", core::to_string(engines[e]));
+        bench::json_run_stats(j, cells[c][e].run);
+        j.end_object();
+      }
+      j.end_array();
+      j.end_object();
+    }
+    j.end_array();
+    j.key("totals");
+    j.begin_array();
+    for (int e = 0; e < 5; ++e) {
+      j.begin_object();
+      j.kv("engine", core::to_string(engines[e]));
+      j.kv("decomposed", dec_totals[e]);
+      j.kv("cpu_s", totals[e]);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("incremental_vs_scratch");
+    j.begin_object();
+    j.kv("workload_cones", static_cast<long long>(work.size()));
+    j.kv("repeats", kRepeats);
+    j.kv("answer_mismatches", answer_mismatches);
+    j.kv("measures", "optimum-search loop only (matrices + MG bootstrap"
+                     " prepared outside the timer); wall = min over repeats");
+    j.key("engines");
+    j.begin_array();
+    for (int e = 0; e < 3; ++e) {
+      j.begin_object();
+      j.kv("engine", core::to_string(qbf_engines[e]));
+      for (int mode = 0; mode < 2; ++mode) {
+        j.key(mode == 0 ? "incremental" : "scratch");
+        j.begin_object();
+        j.kv("found", ab[e][mode].found);
+        j.kv("wall_s", ab[e][mode].wall_s);
+        j.kv("qbf_calls", ab[e][mode].qbf_calls);
+        j.kv("qbf_iterations", ab[e][mode].iterations);
+        j.kv("abstraction_conflicts", ab[e][mode].abs_conflicts);
+        j.kv("verification_conflicts", ab[e][mode].ver_conflicts);
+        j.end_object();
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    j.end_object();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

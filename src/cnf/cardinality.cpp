@@ -78,4 +78,47 @@ void diff_non_negative(ClauseSink& sink, std::span<const sat::Lit> pos,
   diff_at_most_k(sink, neg, pos, 0);
 }
 
+IncrementalCounter::IncrementalCounter(ClauseSink& sink,
+                                           std::span<const sat::Lit> lits) {
+  never_ = sat::mk_lit(sink.new_var());
+  sink.add_unit(~never_);
+
+  // Full-width sequential counter (Sinz-style, same prefix structure as
+  // at_most_k but with register width n instead of k and no overflow
+  // clauses): s[i][j] = "at least j+1 of lits[0..i] are true", encoded in
+  // the forcing direction only. The outputs are the last register row —
+  // assuming ¬o_{k+1} back-propagates ¬s[i][k] down the carry chain and
+  // recovers exactly the arc-consistent pruning of the scratch encoding.
+  const int n = static_cast<int>(lits.size());
+  outputs_.resize(n);
+  sat::LitVec prev, row;
+  for (int i = 0; i < n; ++i) {
+    row.resize(i + 1);
+    for (int j = 0; j <= i; ++j) row[j] = sat::mk_lit(sink.new_var());
+    // base: lits[i] -> s[i][0]
+    sink.add_binary(~lits[i], row[0]);
+    for (int j = 0; j < i; ++j) {
+      // carry: s[i-1][j] -> s[i][j]
+      sink.add_binary(~prev[j], row[j]);
+      // increment: lits[i] & s[i-1][j] -> s[i][j+1]
+      sink.add_ternary(~lits[i], ~prev[j], row[j + 1]);
+    }
+    prev = row;
+  }
+  for (int j = 0; j < n; ++j) outputs_[j] = prev[j];
+}
+
+void IncrementalCounter::assume_at_most(int k, sat::LitVec& out) const {
+  if (k >= size()) return;
+  if (k < 0) {
+    out.push_back(never_);
+    return;
+  }
+  // Descending order: assumptions are asserted front-to-back, so the first
+  // one found false — the one the final conflict is analyzed from — is the
+  // *highest* output the clauses force, and the core then certifies the
+  // strongest refuted bound rather than just the queried one.
+  for (int j = size(); j > k; --j) out.push_back(~output(j));
+}
+
 }  // namespace step::cnf

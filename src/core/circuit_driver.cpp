@@ -28,6 +28,36 @@ int CircuitRunResult::max_support() const {
   return m;
 }
 
+long CircuitRunResult::total_sat_calls() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.sat_calls;
+  return s;
+}
+
+long CircuitRunResult::total_qbf_calls() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.qbf_calls;
+  return s;
+}
+
+long CircuitRunResult::total_qbf_iterations() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.qbf_iterations;
+  return s;
+}
+
+std::uint64_t CircuitRunResult::total_abstraction_conflicts() const {
+  std::uint64_t s = 0;
+  for (const PoOutcome& p : pos) s += p.qbf_abstraction_conflicts;
+  return s;
+}
+
+std::uint64_t CircuitRunResult::total_verification_conflicts() const {
+  std::uint64_t s = 0;
+  for (const PoOutcome& p : pos) s += p.qbf_verification_conflicts;
+  return s;
+}
+
 CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                              const DecomposeOptions& opts,
                              double circuit_budget_s,
@@ -86,6 +116,11 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     outcome.metrics = r.metrics;
     outcome.proven_optimal = r.proven_optimal;
     outcome.cpu_s = r.cpu_s;
+    outcome.sat_calls = r.sat_calls;
+    outcome.qbf_calls = r.qbf_calls;
+    outcome.qbf_iterations = r.qbf_iterations;
+    outcome.qbf_abstraction_conflicts = r.qbf_abstraction_conflicts;
+    outcome.qbf_verification_conflicts = r.qbf_verification_conflicts;
   };
 
   const int threads =

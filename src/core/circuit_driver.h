@@ -15,6 +15,12 @@ struct PoOutcome {
   Metrics metrics;
   bool proven_optimal = false;
   double cpu_s = 0.0;
+  // Solver-cost accounting, forwarded from DecomposeResult.
+  int sat_calls = 0;
+  int qbf_calls = 0;
+  int qbf_iterations = 0;
+  std::uint64_t qbf_abstraction_conflicts = 0;
+  std::uint64_t qbf_verification_conflicts = 0;
 };
 
 /// One engine applied to every decomposable-candidate PO of a circuit —
@@ -30,6 +36,13 @@ struct CircuitRunResult {
   int num_decomposed() const;
   int num_proven_optimal() const;
   int max_support() const;  ///< the paper's #InM
+
+  /// Circuit-wide solver-cost aggregates (sums over `pos`).
+  long total_sat_calls() const;
+  long total_qbf_calls() const;
+  long total_qbf_iterations() const;
+  std::uint64_t total_abstraction_conflicts() const;
+  std::uint64_t total_verification_conflicts() const;
 };
 
 /// Fan-out policy of run_circuit. Per-PO decomposition jobs are

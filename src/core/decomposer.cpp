@@ -82,6 +82,9 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
       OptimumSearch search(finder, model, opts_.optimum);
       const OptimumResult r = search.run(bootstrap, &deadline);
       res.qbf_calls = r.qbf_calls;
+      res.qbf_iterations = finder.total_iterations();
+      res.qbf_abstraction_conflicts = finder.abstraction_conflicts();
+      res.qbf_verification_conflicts = finder.verification_conflicts();
       switch (r.outcome) {
         case OptimumResult::Outcome::kFound:
           finish_with_partition(r.best, r.proven_optimal);

@@ -75,6 +75,12 @@ struct DecomposeResult {
   double cpu_s = 0.0;
   int sat_calls = 0;
   int qbf_calls = 0;
+  /// QBF engines only: total CEGAR refinement rounds across all bound
+  /// queries, and conflicts spent in the abstraction / verification SAT
+  /// solvers of the (persistent or scratch) solver pair.
+  int qbf_iterations = 0;
+  std::uint64_t qbf_abstraction_conflicts = 0;
+  std::uint64_t qbf_verification_conflicts = 0;
 };
 
 /// Facade running one engine on one cone — the per-PO unit of work of the

@@ -88,7 +88,10 @@ OptimumResult OptimumSearch::run(const std::optional<Partition>& bootstrap,
           hi = std::min(hi, res.best_cost - 1);
           break;
         case qbf::Qbf2Status::kFalse:
-          lo = k + 1;
+          // The finder's refutation certificate can cover more than the
+          // queried bound (UNSAT core over the cardinality-counter
+          // outputs); skip every bound it already refutes.
+          lo = std::max(lo, r.refuted_below);
           break;
         case qbf::Qbf2Status::kUnknown:
           ++res.timeouts;

@@ -57,6 +57,12 @@ struct OptimumResult {
 ///   all k < lo refuted,  best holds the cheapest partition found,
 /// and walks k according to the staged schedule. Results are never worse
 /// than the bootstrap partition (the paper bootstraps with STEP-MG).
+///
+/// With the finder's default incremental mode, the whole MD/Bin/MI walk
+/// drives a single persistent CEGAR solver pair: each query only changes
+/// the assumption set activating the bound, and a refuted query's UNSAT
+/// core (QbfFindResult::refuted_below) may raise `lo` past k+1, skipping
+/// queries outright.
 class OptimumSearch {
  public:
   OptimumSearch(QbfPartitionFinder& finder, QbfModel model,

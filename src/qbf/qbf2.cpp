@@ -76,6 +76,10 @@ ExistsForallSolver::ExistsForallSolver(const aig::Aig& matrix, aig::Lit root,
 
 void ExistsForallSolver::refine(const std::vector<sat::Lbool>& inner_assignment) {
   STEP_CHECK(inner_assignment.size() == inner_inputs_.size());
+  // Fast exit for an inner assignment already refined against: pool
+  // seeding and persistent multi-query solving replay countermodels whose
+  // refinement is already in the abstraction.
+  if (!seen_inner_.insert(sat::lbool_key(inner_assignment)).second) return;
   // Cofactor the matrix on the inner countermodel: the result is a
   // constraint purely over the outer inputs.
   aig::Aig dst;
@@ -114,7 +118,18 @@ void ExistsForallSolver::refine(const std::vector<sat::Lbool>& inner_assignment)
     for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
       if (sat::var(clause[i]) == sat::var(clause[i + 1])) tautology = true;
     }
-    if (!tautology) abstraction_.add_clause(clause);
+    if (!tautology) {
+      // Distinct countermodels frequently cofactor to the same clause;
+      // adding it again only bloats the abstraction's watch lists.
+      std::string key;
+      key.reserve(clause.size() * 4);
+      for (const sat::Lit l : clause) {
+        key.append(reinterpret_cast<const char*>(&l.x), sizeof(l.x));
+      }
+      if (seen_clauses_.insert(std::move(key)).second) {
+        abstraction_.add_clause(clause);
+      }
+    }
     return;
   }
 
@@ -133,13 +148,18 @@ void ExistsForallSolver::seed_countermodel(
 }
 
 Qbf2Result ExistsForallSolver::solve(const Deadline* deadline) {
+  return solve(std::span<const sat::Lit>{}, deadline);
+}
+
+Qbf2Result ExistsForallSolver::solve(std::span<const sat::Lit> assumptions,
+                                     const Deadline* deadline) {
   Qbf2Result res;
   for (;;) {
     if (deadline != nullptr && deadline->expired()) {
       res.status = Qbf2Status::kUnknown;
       return res;
     }
-    const sat::Result ra = abstraction_.solve_limited({}, -1, deadline);
+    const sat::Result ra = abstraction_.solve_limited(assumptions, -1, deadline);
     if (ra == sat::Result::kUnknown) {
       res.status = Qbf2Status::kUnknown;
       return res;

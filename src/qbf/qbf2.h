@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "aig/aig.h"
@@ -65,14 +68,39 @@ class ExistsForallSolver {
   /// Pre-seeds the abstraction with a previously discovered inner
   /// countermodel (indexed like `inner_inputs`); lets a caller carry CEGAR
   /// learning across a sequence of related queries (the optimum-k loop).
+  /// Duplicate seeds (and duplicate refinement clauses) are skipped.
   void seed_countermodel(const std::vector<sat::Lbool>& inner_assignment);
 
   Qbf2Result solve(const Deadline* deadline = nullptr);
+
+  /// Assumption-carrying solve: `assumptions` (over abstraction variables,
+  /// e.g. cardinality-counter outputs) are threaded through every
+  /// abstraction call of the CEGAR loop, so one persistent solver pair can
+  /// answer a whole family of queries — different bounds are just
+  /// different assumption sets, and refinements plus learned clauses
+  /// accumulate in place across calls.
+  Qbf2Result solve(std::span<const sat::Lit> assumptions,
+                   const Deadline* deadline = nullptr);
+
+  /// After a kFalse answer from an assumption-carrying solve: the subset
+  /// of the assumptions the abstraction's final conflict depended on
+  /// (empty when the refutation is assumption-independent).
+  const sat::LitVec& abstraction_core() const {
+    return abstraction_.conflict_core();
+  }
 
   /// Inner countermodels discovered during solve(), indexed like
   /// `inner_inputs`; feed them to seed_countermodel() of a later instance.
   const std::vector<std::vector<sat::Lbool>>& countermodels() const {
     return countermodels_;
+  }
+
+  /// Cumulative SAT statistics of the two sides of the CEGAR loop.
+  const sat::Solver::Stats& abstraction_stats() const {
+    return abstraction_.stats();
+  }
+  const sat::Solver::Stats& verification_stats() const {
+    return verification_.stats();
   }
 
  private:
@@ -92,6 +120,11 @@ class ExistsForallSolver {
   std::vector<int> input_role_;  ///< -1 free, 0 outer, 1 inner, per input index
 
   std::vector<std::vector<sat::Lbool>> countermodels_;
+  /// Dedupe sets for refine(): already-processed inner assignments and
+  /// already-emitted fast-path clauses (persistent solving replays related
+  /// queries, which would otherwise re-derive the same refinements).
+  std::unordered_set<std::string> seen_inner_;
+  std::unordered_set<std::string> seen_clauses_;
 };
 
 }  // namespace step::qbf

@@ -258,8 +258,8 @@ Lit Solver::pick_branch_lit() {
   return kLitUndef;
 }
 
-void Solver::bump_var(Var v) {
-  activity_[v] += var_inc_;
+void Solver::bump_var(Var v, double factor) {
+  activity_[v] += var_inc_ * factor;
   if (activity_[v] > 1e100) {
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;

@@ -88,6 +88,11 @@ class Solver {
   /// Preferred phase when the variable is picked as a decision.
   void set_polarity_hint(Var v, bool value) { polarity_[v] = value ? 1 : 0; }
 
+  /// Adds `factor` × the current VSIDS increment to v's activity, steering
+  /// upcoming decisions toward v (e.g. deciding problem variables before
+  /// encoder auxiliaries). The preference decays like any ordinary bump.
+  void boost_var_activity(Var v, double factor = 1.0) { bump_var(v, factor); }
+
   struct Stats {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
@@ -127,7 +132,7 @@ class Solver {
 
   Result search(std::int64_t nof_conflicts, const Deadline* deadline);
 
-  void bump_var(Var v);
+  void bump_var(Var v, double factor = 1.0);
   void decay_var_activity() { var_inc_ /= opts_.var_decay; }
   void bump_clause(Clause& c);
   void decay_clause_activity() { cla_inc_ /= opts_.clause_decay; }

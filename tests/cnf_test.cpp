@@ -1,5 +1,7 @@
 #include "cnf/cardinality.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "aig/simulate.h"
@@ -170,7 +172,103 @@ TEST(Cardinality, DiffNonNegativeEnumerates) {
   EXPECT_EQ(count_projected_models(s, base), expect);
 }
 
-// ---------- Tseitin --------------------------------------------------------------
+// ---------- incremental counter --------------------------------------------
+
+/// Enumerates every input pattern under the bound-k assumption set:
+/// SAT exactly when popcount <= k. Exercises both enforcement (no pattern
+/// above the bound survives) and extendability (no pattern within the
+/// bound is cut off), without mutating the solver between bounds.
+void check_bound_on_live_solver(Solver& s, const IncrementalCounter& tot,
+                                const std::vector<Var>& base, int k) {
+  for (int m = 0; m < (1 << base.size()); ++m) {
+    LitVec assume;
+    tot.assume_at_most(k, assume);
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      assume.push_back(mk_lit(base[j], ((m >> j) & 1) == 0));
+    }
+    const bool expect = k >= 0 && __builtin_popcount(m) <= k;
+    EXPECT_EQ(s.solve(assume), expect ? Result::kSat : Result::kUnsat)
+        << "k=" << k << " pattern=" << m;
+  }
+}
+
+TEST(IncrementalCounter, MonotoneTighteningOnOneSolver) {
+  for (const int n : {1, 2, 5, 6}) {
+    Solver s;
+    std::vector<Var> base;
+    LitVec lits;
+    for (int i = 0; i < n; ++i) {
+      base.push_back(s.new_var());
+      lits.push_back(mk_lit(base[i]));
+    }
+    SolverSink sink(s);
+    const IncrementalCounter tot(sink, lits);
+    ASSERT_EQ(tot.size(), n);
+    // One encoding, every bound: tighten from k >= n (no assumptions)
+    // through k = 0 (all outputs assumed false) to the infeasible k = -1,
+    // then loosen again — learned clauses must never leak across bounds.
+    for (int k = n + 1; k >= -1; --k) {
+      check_bound_on_live_solver(s, tot, base, k);
+    }
+    check_bound_on_live_solver(s, tot, base, n / 2);
+  }
+}
+
+TEST(IncrementalCounter, MixedPolarityInputs) {
+  // The finder's difference bounds track lists like alpha ∪ ¬beta; the
+  // counter must count satisfied *literals*, not positive variables.
+  Solver s;
+  std::vector<Var> base;
+  for (int i = 0; i < 4; ++i) base.push_back(s.new_var());
+  const LitVec lits = {mk_lit(base[0]), ~mk_lit(base[1]), mk_lit(base[2]),
+                       ~mk_lit(base[3])};
+  SolverSink sink(s);
+  const IncrementalCounter tot(sink, lits);
+  for (int k = 4; k >= 0; --k) {
+    for (int m = 0; m < 16; ++m) {
+      LitVec assume;
+      tot.assume_at_most(k, assume);
+      int count = 0;
+      for (int j = 0; j < 4; ++j) {
+        const bool v = ((m >> j) & 1) != 0;
+        assume.push_back(mk_lit(base[j], !v));
+        const bool negated = j == 1 || j == 3;
+        if (v != negated) ++count;
+      }
+      EXPECT_EQ(s.solve(assume), count <= k ? Result::kSat : Result::kUnsat)
+          << "k=" << k << " pattern=" << m;
+    }
+  }
+}
+
+TEST(IncrementalCounter, UnsatCoreNamesStrongestRefutedBound) {
+  // Three of five inputs are forced true; refuting "at most 1" must yield
+  // a core naming output o_3 (sum forced >= 3), not merely o_2 — the
+  // signal the optimum search uses to raise its lower bound past k+1.
+  Solver s;
+  std::vector<Var> base;
+  LitVec lits;
+  for (int i = 0; i < 5; ++i) {
+    base.push_back(s.new_var());
+    lits.push_back(mk_lit(base[i]));
+  }
+  SolverSink sink(s);
+  const IncrementalCounter tot(sink, lits);
+  for (int i = 0; i < 3; ++i) s.add_clause({lits[i]});
+
+  LitVec assume;
+  tot.assume_at_most(1, assume);
+  ASSERT_EQ(s.solve(assume), Result::kUnsat);
+  const LitVec& core = s.conflict_core();
+  int min_output = 0;
+  for (int j = 1; j <= tot.size(); ++j) {
+    if (std::find(core.begin(), core.end(), ~tot.output(j)) != core.end()) {
+      min_output = j;
+      break;
+    }
+  }
+  EXPECT_EQ(min_output, 3);
+}
 
 TEST(Tseitin, ConeEncodingMatchesSimulation) {
   Rng rng(7);

@@ -11,6 +11,10 @@
 //   -engine ljh|mg|qd|qb|qdb   partition engine (default qd)
 //   -timeout <s>          per-circuit budget (default 60)
 //   -qbf-timeout <s>      per-QBF-call budget (default 1.0)
+//   -scratch              rebuild the QBF solver per bound query (A/B
+//                         reference for the default incremental mode)
+//   --stats               print aggregated solver-cost counters (SAT/QBF
+//                         calls, CEGAR iterations, conflicts) after the table
 //   -j <n>                worker threads for decompose (0 = all cores)
 //   -o <out.blif>         output file for resynth (default stdout)
 
@@ -38,13 +42,16 @@ struct CliOptions {
   double timeout_s = 60.0;
   double qbf_timeout_s = 1.0;
   int num_threads = 1;
+  bool incremental = true;
+  bool print_stats = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: step <decompose|resynth|stats> <circuit.blif>\n"
                "  -op or|and|xor  -engine ljh|mg|qd|qb|qdb\n"
-               "  -timeout <s>  -qbf-timeout <s>  -j <threads>  -o <out.blif>\n");
+               "  -timeout <s>  -qbf-timeout <s>  -scratch  --stats\n"
+               "  -j <threads>  -o <out.blif>\n");
   std::exit(2);
 }
 
@@ -74,6 +81,10 @@ CliOptions parse_args(int argc, char** argv) {
       cli.timeout_s = std::atof(value());
     } else if (flag == "-qbf-timeout") {
       cli.qbf_timeout_s = std::atof(value());
+    } else if (flag == "-scratch") {
+      cli.incremental = false;
+    } else if (flag == "--stats" || flag == "-stats") {
+      cli.print_stats = true;
     } else if (flag == "-j") {
       cli.num_threads = std::atoi(value());
     } else if (flag == "-o") {
@@ -110,6 +121,7 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   opts.op = cli.op;
   opts.engine = cli.engine;
   opts.optimum.call_timeout_s = cli.qbf_timeout_s;
+  opts.qbf.incremental = cli.incremental;
   core::ParallelDriverOptions par;
   par.num_threads = cli.num_threads;
   const core::CircuitRunResult run =
@@ -136,6 +148,19 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
               core::to_string(cli.engine), core::to_string(cli.op),
               run.num_decomposed(), run.pos.size(), run.num_proven_optimal(),
               run.total_cpu_s);
+  if (cli.print_stats) {
+    std::printf("# stats: mode=%s sat_calls=%ld qbf_calls=%ld"
+                " qbf_iterations=%ld\n",
+                cli.incremental ? "incremental" : "scratch",
+                run.total_sat_calls(), run.total_qbf_calls(),
+                run.total_qbf_iterations());
+    std::printf("# stats: abstraction_conflicts=%llu"
+                " verification_conflicts=%llu\n",
+                static_cast<unsigned long long>(
+                    run.total_abstraction_conflicts()),
+                static_cast<unsigned long long>(
+                    run.total_verification_conflicts()));
+  }
   return 0;
 }
 
