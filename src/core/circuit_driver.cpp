@@ -141,6 +141,110 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
   return result;
 }
 
+CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
+                                         const std::string& name,
+                                         const SynthesisOptions& opts,
+                                         double circuit_budget_s,
+                                         const ParallelDriverOptions& par,
+                                         bool verify) {
+  CircuitResynthResult result;
+  result.circuit = name;
+  result.engine = opts.engine;
+
+  Timer total;
+  Deadline circuit_deadline(circuit_budget_s);
+  const DecCacheStats cache_before =
+      opts.cache != nullptr ? opts.cache->stats() : DecCacheStats{};
+
+  const std::uint32_t n_pos = circuit.num_outputs();
+  result.pos.resize(n_pos);
+  result.trees.resize(n_pos);
+  std::vector<SynthesisStats> job_stats(n_pos);
+  std::vector<std::vector<std::uint32_t>> job_inputs(n_pos);
+
+  // Tree construction fans out; workers share only the read-only circuit,
+  // the deadline, and the (thread-safe) cache. Expiry degrades quality —
+  // sub-cones fall back to verbatim leaves — never completeness.
+  auto run_one = [&](std::uint32_t po) {
+    Timer po_timer;
+    PoResynthOutcome& out = result.pos[po];
+    out.po_index = static_cast<int>(po);
+    const Cone cone = extract_po_cone(circuit, po, &job_inputs[po]);
+    out.support = cone.n();
+    out.depth_before = cone_depth(circuit, circuit.output(po));
+    job_stats[po].pos_processed = 1;
+    result.trees[po] =
+        decompose_to_tree(cone, opts, &job_stats[po], &circuit_deadline);
+    out.tree = result.trees[po]->stats();
+    if (verify) out.verified = tree_equivalent(cone, *result.trees[po]);
+    out.cpu_s = po_timer.elapsed_s();
+  };
+
+  const int threads =
+      std::min(ThreadPool::resolve_num_threads(par.num_threads),
+               std::max<int>(1, static_cast<int>(n_pos)));
+  if (threads <= 1) {
+    for (std::uint32_t po = 0; po < n_pos; ++po) run_one(po);
+  } else {
+    ThreadPool pool(threads);
+    for (std::uint32_t po = 0; po < n_pos; ++po) {
+      pool.submit([&run_one, po] { run_one(po); });
+    }
+    pool.wait_idle();
+  }
+
+  // Deterministic assembly in PO order (emission is cheap and serial).
+  aig::Aig& dst = result.network;
+  std::vector<aig::Lit> pi_map(circuit.num_inputs());
+  for (std::uint32_t i = 0; i < circuit.num_inputs(); ++i) {
+    pi_map[i] = dst.add_input(circuit.input_name(i));
+  }
+  result.all_verified = verify;
+  for (std::uint32_t po = 0; po < n_pos; ++po) {
+    std::vector<aig::Lit> dst_inputs(job_inputs[po].size());
+    for (std::size_t i = 0; i < job_inputs[po].size(); ++i) {
+      dst_inputs[i] = pi_map[job_inputs[po][i]];
+    }
+    const aig::Lit out = emit_tree(*result.trees[po], dst, dst_inputs);
+    dst.add_output(out, circuit.output_name(po));
+    result.stats += job_stats[po];
+    result.stats.depth_before =
+        std::max(result.stats.depth_before, result.pos[po].depth_before);
+    if (verify && !result.pos[po].verified) result.all_verified = false;
+  }
+  // One level sweep over the finished network covers every PO's
+  // depth_after (per-PO cone_depth calls here would be quadratic).
+  {
+    std::vector<int> level(dst.num_nodes(), 0);
+    for (std::uint32_t n = 1; n < dst.num_nodes(); ++n) {
+      if (!dst.is_and(n)) continue;
+      level[n] = 1 + std::max(level[aig::node_of(dst.fanin0(n))],
+                              level[aig::node_of(dst.fanin1(n))]);
+    }
+    for (std::uint32_t po = 0; po < n_pos; ++po) {
+      result.pos[po].depth_after = level[aig::node_of(dst.output(po))];
+      result.stats.depth_after =
+          std::max(result.stats.depth_after, result.pos[po].depth_after);
+    }
+  }
+  result.stats.ands_before = circuit.num_ands();
+  result.stats.ands_after = dst.num_ands();
+
+  if (opts.cache != nullptr) {
+    const DecCacheStats after = opts.cache->stats();
+    result.cache.lookups = after.lookups - cache_before.lookups;
+    result.cache.npn_hits = after.npn_hits - cache_before.npn_hits;
+    result.cache.sig_hits = after.sig_hits - cache_before.sig_hits;
+    result.cache.misses = after.misses - cache_before.misses;
+    result.cache.insertions = after.insertions - cache_before.insertions;
+    result.cache.sat_confirms = after.sat_confirms - cache_before.sat_confirms;
+    result.cache.sat_refutes = after.sat_refutes - cache_before.sat_refutes;
+  }
+  result.hit_circuit_budget = circuit_deadline.expired();
+  result.total_cpu_s = total.elapsed_s();
+  return result;
+}
+
 QualityComparison compare_quality(const CircuitRunResult& base,
                                   const CircuitRunResult& challenger,
                                   MetricKind kind) {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/decomposer.h"
+#include "core/synthesis.h"
 
 namespace step::core {
 
@@ -87,5 +89,47 @@ struct QualityComparison {
 QualityComparison compare_quality(const CircuitRunResult& base,
                                   const CircuitRunResult& challenger,
                                   MetricKind kind);
+
+/// Per-PO outcome of a recursive resynthesis run. Unlike PoOutcome, every
+/// PO appears (trivial ones become constant/literal trees) because the
+/// result must be a complete netlist.
+struct PoResynthOutcome {
+  int po_index = 0;
+  int support = 0;
+  DecTreeStats tree;
+  int depth_before = 0;
+  int depth_after = 0;
+  bool verified = false;  ///< SAT miter tree vs. original cone (when requested)
+  double cpu_s = 0.0;
+};
+
+/// Recursive resynthesis of a whole circuit: one decomposition tree per
+/// PO, assembled into a fresh netlist with the same PI/PO interface.
+struct CircuitResynthResult {
+  std::string circuit;
+  Engine engine = Engine::kQbfCombined;
+  aig::Aig network;
+  std::vector<PoResynthOutcome> pos;
+  std::vector<std::shared_ptr<const DecTree>> trees;  ///< aligned with pos
+  SynthesisStats stats;      ///< aggregated over POs
+  DecCacheStats cache;       ///< this run's delta (zero when no cache)
+  bool all_verified = false; ///< meaningful only when verification ran
+  bool hit_circuit_budget = false;
+  double total_cpu_s = 0.0;
+};
+
+/// Runs recursive bi-decomposition over all POs of `circuit`, fanning the
+/// per-PO tree construction over the work-stealing pool. `opts.cache`,
+/// when set, is shared by all workers, so identical or NPN-equivalent
+/// cones decompose once per run. The circuit budget is cooperative: after
+/// it expires, remaining sub-cones are emitted as verbatim leaves, so the
+/// output netlist is always complete and equivalent. When `verify` is
+/// set every PO tree is SAT-proven equivalent to its original cone.
+CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
+                                         const std::string& name,
+                                         const SynthesisOptions& opts,
+                                         double circuit_budget_s,
+                                         const ParallelDriverOptions& par = {},
+                                         bool verify = false);
 
 }  // namespace step::core

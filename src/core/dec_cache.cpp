@@ -1,0 +1,138 @@
+#include "core/dec_cache.h"
+
+#include <algorithm>
+
+#include "aig/simulate.h"
+#include "common/rng.h"
+#include "core/extract.h"
+
+namespace step::core {
+
+namespace {
+
+std::vector<std::uint32_t> identity_support(int n) {
+  std::vector<std::uint32_t> s(n);
+  for (int i = 0; i < n; ++i) s[i] = static_cast<std::uint32_t>(i);
+  return s;
+}
+
+}  // namespace
+
+DecCache::DecCache(DecCacheOptions opts) : opts_(opts) {
+  opts_.npn_max_support = std::min(opts_.npn_max_support, kNpnMaxSupport);
+  opts_.signature_words = std::max(opts_.signature_words, 1);
+}
+
+std::uint64_t DecCache::signature_of(const Cone& cone) const {
+  // Deterministic per-(input, word) stimulus: equal functions over equally
+  // ordered supports always collide; anything else almost never does, and
+  // a SAT check arbitrates when it does.
+  const int n = cone.n();
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(n);
+  std::vector<std::uint64_t> words(n);
+  for (int w = 0; w < opts_.signature_words; ++w) {
+    for (int i = 0; i < n; ++i) {
+      Rng rng(opts_.signature_seed +
+              0x10001ULL * static_cast<std::uint64_t>(i) +
+              0x7f4a7c15ULL * static_cast<std::uint64_t>(w));
+      words[i] = rng.next();
+    }
+    h ^= aig::simulate_cone(cone.aig, cone.root, words) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
+                                            DecCacheKey* key) {
+  const int n = cone.n();
+  DecCacheKey k;
+  k.n = n;
+  k.exact = n <= opts_.npn_max_support;
+
+  if (k.exact) {
+    const TruthTable tt =
+        aig::truth_table(cone.aig, cone.root, identity_support(n));
+    NpnCanonical canon = npn_canonicalize(tt, n);
+    k.canon_tt = canon.tt;
+    k.canon_to_fn = canon.transform;
+    if (key != nullptr) *key = k;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    const auto it = npn_map_.find(TtKey{n, k.canon_tt});
+    if (it == npn_map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.npn_hits;
+    return DecCacheHit{it->second.tree,
+                       npn_compose(it->second.canon_to_fn, k.canon_to_fn)};
+  }
+
+  k.signature = signature_of(cone);
+  if (key != nullptr) *key = k;
+
+  // Copy the collision candidates out so the SAT checks run unlocked.
+  std::vector<SigEntry> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    const auto it = sig_map_.find(k.signature);
+    if (it != sig_map_.end()) candidates = it->second;
+  }
+  for (const SigEntry& e : candidates) {
+    if (e.cone->n() != n) continue;
+    if (cones_equivalent(*e.cone, cone)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.sat_confirms;
+      ++stats_.sig_hits;
+      NpnVarMap ident;
+      ident.var.resize(n);
+      for (int i = 0; i < n; ++i) ident.var[i] = i;
+      return DecCacheHit{e.tree, std::move(ident)};
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sat_refutes;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void DecCache::insert(const Cone& cone, const DecCacheKey& key, DecTree tree) {
+  STEP_CHECK(key.n == cone.n());
+  auto shared = std::make_shared<const DecTree>(std::move(tree));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.insertions;
+  if (key.exact) {
+    // First insertion per NPN class wins; concurrent duplicates are
+    // dropped (both trees are correct, keeping one is enough).
+    npn_map_.emplace(TtKey{key.n, key.canon_tt},
+                     NpnEntry{std::move(shared), key.canon_to_fn});
+    return;
+  }
+  sig_map_[key.signature].push_back(
+      SigEntry{std::make_shared<const Cone>(cone), std::move(shared)});
+}
+
+DecCacheStats DecCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t DecCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = npn_map_.size();
+  for (const auto& [sig, entries] : sig_map_) n += entries.size();
+  return n;
+}
+
+void DecCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  npn_map_.clear();
+  sig_map_.clear();
+  stats_ = DecCacheStats{};
+}
+
+}  // namespace step::core

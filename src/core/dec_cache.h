@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dec_tree.h"
+#include "core/npn.h"
+
+namespace step::core {
+
+struct DecCacheOptions {
+  /// Supports up to this size are keyed by their exact NPN-canonical
+  /// truth table; wider cones fall back to the semantic signature + SAT
+  /// confirmation path. Capped at kNpnMaxSupport.
+  int npn_max_support = kNpnMaxSupport;
+  /// 64-bit stimulus words per input when computing the semantic
+  /// signature of a wide cone (more words = fewer SAT confirmations that
+  /// end in a refutation).
+  int signature_words = 4;
+  std::uint64_t signature_seed = 0x57e9dec0ULL;
+};
+
+struct DecCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t npn_hits = 0;   ///< exact-canonical-key hits (rewired trees)
+  std::uint64_t sig_hits = 0;   ///< signature hits confirmed by SAT
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t sat_confirms = 0;  ///< signature collisions proven equivalent
+  std::uint64_t sat_refutes = 0;   ///< signature collisions disproven
+
+  std::uint64_t hits() const { return npn_hits + sig_hits; }
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits()) / lookups;
+  }
+};
+
+/// A cache hit: `tree` decomposes a function NPN-equivalent to the query;
+/// `map` rewires it (tree support position i reads query support position
+/// map.var[i], complemented per map.neg, output complemented per
+/// map.output_neg). Semantic hits always carry the identity map.
+struct DecCacheHit {
+  std::shared_ptr<const DecTree> tree;
+  NpnVarMap map;
+};
+
+/// Opaque token carrying the canonicalization work done by lookup() so a
+/// following insert() of the freshly decomposed cone does not repeat it.
+struct DecCacheKey {
+  int n = 0;
+  bool exact = false;
+  TruthTable canon_tt;
+  NpnTransform canon_to_fn;
+  std::uint64_t signature = 0;
+};
+
+/// Thread-safe memo of decomposition trees, shared across the POs (and
+/// worker threads) of a circuit run so identical or NPN-equivalent cones
+/// are decomposed once. Small cones are keyed exactly by NPN-canonical
+/// truth table; wide cones by a simulation signature whose collisions are
+/// confirmed with one SAT equivalence check before the tree is reused.
+class DecCache {
+ public:
+  explicit DecCache(DecCacheOptions opts = {});
+
+  /// Looks up a tree for `cone` (whose inputs are exactly its support).
+  /// When `key` is non-null it receives the token to pass to insert().
+  std::optional<DecCacheHit> lookup(const Cone& cone,
+                                    DecCacheKey* key = nullptr);
+
+  /// Stores `tree` (a decomposition of `cone`) under `key` as obtained
+  /// from lookup() on the same cone. First insertion per class wins.
+  void insert(const Cone& cone, const DecCacheKey& key, DecTree tree);
+
+  DecCacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct TtKey {
+    int n = 0;
+    TruthTable tt;
+    bool operator==(const TtKey&) const = default;
+  };
+  struct TtKeyHash {
+    std::size_t operator()(const TtKey& k) const {
+      std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(k.n);
+      for (std::uint64_t w : k.tt) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct NpnEntry {
+    std::shared_ptr<const DecTree> tree;
+    /// Instantiates the canonical tt as the stored function.
+    NpnTransform canon_to_fn;
+  };
+  struct SigEntry {
+    std::shared_ptr<const Cone> cone;
+    std::shared_ptr<const DecTree> tree;
+  };
+
+  std::uint64_t signature_of(const Cone& cone) const;
+
+  DecCacheOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<TtKey, NpnEntry, TtKeyHash> npn_map_;
+  std::unordered_map<std::uint64_t, std::vector<SigEntry>> sig_map_;
+  DecCacheStats stats_;
+};
+
+}  // namespace step::core

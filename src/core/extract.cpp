@@ -150,16 +150,20 @@ ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
 }
 
 bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns) {
+  return cones_equivalent(cone, Cone{fns.aig, fns.combined});
+}
+
+bool cones_equivalent(const Cone& a, const Cone& b) {
   sat::Solver solver;
-  std::vector<sat::Lit> svars(cone.n());
-  for (int i = 0; i < cone.n(); ++i) svars[i] = sat::mk_lit(solver.new_var());
+  std::vector<sat::Lit> svars(a.n());
+  for (int i = 0; i < a.n(); ++i) svars[i] = sat::mk_lit(solver.new_var());
 
   cnf::SolverSink sink(solver);
-  const sat::Lit lf = cnf::encode_cone(cone.aig, cone.root, svars, sink);
-  const sat::Lit lc = cnf::encode_cone(fns.aig, fns.combined, svars, sink);
-  // Assert inequality; UNSAT proves f ≡ fa <OP> fb.
-  sink.add_binary(lf, lc);
-  sink.add_binary(~lf, ~lc);
+  const sat::Lit la = cnf::encode_cone(a.aig, a.root, svars, sink);
+  const sat::Lit lb = cnf::encode_cone(b.aig, b.root, svars, sink);
+  // Assert inequality; UNSAT proves equivalence.
+  sink.add_binary(la, lb);
+  sink.add_binary(~la, ~lb);
   return solver.solve() == sat::Result::kUnsat;
 }
 

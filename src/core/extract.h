@@ -35,4 +35,9 @@ ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
 /// SAT check that f ≡ fa <OP> fb (miter unsatisfiability).
 bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns);
 
+/// SAT miter over shared inputs: true iff two cones with the same input
+/// count (inputs identified positionally) compute the same function.
+/// Shared by decomposition verification and the cache's hit confirmation.
+bool cones_equivalent(const Cone& a, const Cone& b);
+
 }  // namespace step::core

@@ -1,0 +1,115 @@
+#include "core/npn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace step::core {
+
+namespace {
+
+inline void set_bit(TruthTable& tt, std::size_t row, bool v) {
+  if (v) tt[row >> 6] |= 1ULL << (row & 63);
+}
+
+/// Row of the concrete input vector x that transform `t` pairs with row
+/// `y_row` of the canonical input vector y: x_{perm[j]} = y_j XOR neg_j.
+inline std::size_t x_row_of(std::size_t y_row, int n, const NpnTransform& t) {
+  std::size_t x = 0;
+  for (int j = 0; j < n; ++j) {
+    const bool yj = ((y_row >> j) & 1U) != 0;
+    const bool neg = ((t.input_neg >> j) & 1U) != 0;
+    if (yj != neg) x |= std::size_t{1} << t.perm[j];
+  }
+  return x;
+}
+
+}  // namespace
+
+NpnTransform npn_identity(int n) {
+  NpnTransform t;
+  t.perm.resize(n);
+  std::iota(t.perm.begin(), t.perm.end(), std::uint8_t{0});
+  return t;
+}
+
+TruthTable npn_apply(const TruthTable& c, int n, const NpnTransform& t) {
+  STEP_CHECK(static_cast<int>(t.perm.size()) == n);
+  const std::size_t rows = std::size_t{1} << n;
+  TruthTable f(aig::tt_words(n), 0);
+  for (std::size_t y = 0; y < rows; ++y) {
+    set_bit(f, x_row_of(y, n, t), t.output_neg != aig::tt_bit(c, y));
+  }
+  return f;
+}
+
+NpnCanonical npn_canonicalize(const TruthTable& f, int n) {
+  STEP_CHECK(n >= 0 && n <= kNpnMaxSupport);
+  const std::size_t rows = std::size_t{1} << n;
+  const std::uint64_t mask = rows >= 64 ? ~0ULL : (1ULL << rows) - 1;
+
+  NpnCanonical best;
+  NpnTransform t = npn_identity(n);
+  const std::uint32_t neg_limit = 1U << n;
+  std::vector<std::uint32_t> perm_row(rows);
+  do {
+    // Since x_{perm[j]} = y_j XOR neg_j, the concrete row is the pure
+    // permutation image of (y XOR neg): one row map per perm covers all
+    // 2^n input negations.
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::uint32_t x = 0;
+      for (int j = 0; j < n; ++j) {
+        if ((r >> j) & 1U) x |= 1U << t.perm[j];
+      }
+      perm_row[r] = x;
+    }
+    for (t.input_neg = 0; t.input_neg < neg_limit; ++t.input_neg) {
+      std::uint64_t word = 0;
+      for (std::size_t y = 0; y < rows; ++y) {
+        if (aig::tt_bit(f, perm_row[y ^ t.input_neg])) word |= 1ULL << y;
+      }
+      for (int o = 0; o <= 1; ++o) {
+        t.output_neg = o != 0;
+        const std::uint64_t cand = t.output_neg ? ~word & mask : word;
+        if (best.tt.empty() || cand < best.tt[0]) {
+          best.tt.assign(1, cand);
+          best.transform = t;
+        }
+      }
+    }
+  } while (std::next_permutation(t.perm.begin(), t.perm.end()));
+  return best;
+}
+
+bool npn_equivalent(const TruthTable& f, const TruthTable& g, int n) {
+  STEP_CHECK(n >= 0 && n <= kNpnMaxSupport);
+  NpnTransform t = npn_identity(n);
+  const std::uint32_t neg_limit = 1U << n;
+  do {
+    for (t.input_neg = 0; t.input_neg < neg_limit; ++t.input_neg) {
+      for (int o = 0; o <= 1; ++o) {
+        t.output_neg = o != 0;
+        if (npn_apply(g, n, t) == f) return true;
+      }
+    }
+  } while (std::next_permutation(t.perm.begin(), t.perm.end()));
+  return false;
+}
+
+NpnVarMap npn_compose(const NpnTransform& to_f, const NpnTransform& to_g) {
+  const int n = static_cast<int>(to_f.perm.size());
+  STEP_CHECK(static_cast<int>(to_g.perm.size()) == n);
+  NpnVarMap m;
+  m.var.resize(n);
+  for (int j = 0; j < n; ++j) {
+    m.var[to_f.perm[j]] = to_g.perm[j];
+    const bool neg = (((to_f.input_neg >> j) & 1U) != 0) !=
+                     (((to_g.input_neg >> j) & 1U) != 0);
+    if (neg) m.neg |= 1U << to_f.perm[j];
+  }
+  m.output_neg = to_f.output_neg != to_g.output_neg;
+  return m;
+}
+
+}  // namespace step::core

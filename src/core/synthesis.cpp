@@ -3,31 +3,117 @@
 #include <algorithm>
 
 #include "aig/ops.h"
+#include "aig/simulate.h"
+#include "core/reduce.h"
 
 namespace step::core {
 
 namespace {
 
-/// Applies the top gate of a decomposition inside `dst`.
-aig::Lit apply_gate(aig::Aig& dst, GateOp op, aig::Lit a, aig::Lit b) {
-  switch (op) {
-    case GateOp::kOr: return dst.lor(a, b);
-    case GateOp::kAnd: return dst.land(a, b);
-    case GateOp::kXor: return dst.lxor(a, b);
-  }
-  return aig::kLitFalse;
-}
-
-struct Synthesizer {
+/// Builds DecTrees bottom-up; one instance per decompose_to_tree call.
+struct TreeBuilder {
   const SynthesisOptions& opts;
-  SynthesisStats& stats;
+  SynthesisStats* stats;
+  const Deadline* deadline;
 
-  /// Rewrites `cone` into `dst`; cone input i maps to dst_inputs[i].
-  aig::Lit rewrite(const Cone& cone, const std::vector<aig::Lit>& dst_inputs,
-                   aig::Aig& dst, int depth) {
-    if (cone.n() <= opts.leaf_support || depth >= opts.max_depth) {
-      ++stats.leaves;
-      return aig::copy_cone(cone.aig, cone.root, dst, dst_inputs);
+  void count_leaf() {
+    if (stats != nullptr) ++stats->leaves;
+  }
+
+  bool expired() const { return deadline != nullptr && deadline->expired(); }
+
+  std::shared_ptr<const DecTree> make_cone_leaf(const Cone& cone) {
+    count_leaf();
+    DecTree t;
+    t.n = cone.n();
+    DecTreeNode node;
+    node.kind = DecTreeNode::Kind::kCone;
+    node.cone_aig = cone.aig;
+    node.cone_root = cone.root;
+    node.inputs.resize(cone.n());
+    for (int i = 0; i < cone.n(); ++i) node.inputs[i] = i;
+    t.root = t.add(std::move(node));
+    return std::make_shared<const DecTree>(std::move(t));
+  }
+
+  std::shared_ptr<const DecTree> make_const_leaf(bool value) {
+    count_leaf();
+    DecTree t;
+    t.n = 0;
+    DecTreeNode node;
+    node.kind = DecTreeNode::Kind::kConst;
+    node.value = value;
+    t.root = t.add(std::move(node));
+    return std::make_shared<const DecTree>(std::move(t));
+  }
+
+  std::shared_ptr<const DecTree> make_literal_leaf(bool negated) {
+    count_leaf();
+    DecTree t;
+    t.n = 1;
+    DecTreeNode node;
+    node.kind = DecTreeNode::Kind::kLiteral;
+    node.input = 0;
+    node.negated = negated;
+    t.root = t.add(std::move(node));
+    return std::make_shared<const DecTree>(std::move(t));
+  }
+
+  /// Entry point per cone: reduces the support first so the core
+  /// decomposition (and the cache key) sees only relevant inputs.
+  std::shared_ptr<const DecTree> build(const Cone& cone, int depth) {
+    if (opts.reduce_supports && cone.n() > 0 && !expired()) {
+      std::vector<std::uint32_t> kept;
+      const Cone reduced = reduce_cone(cone, &kept);
+      if (static_cast<int>(kept.size()) < cone.n()) {
+        auto sub = build_core(reduced, depth);
+        DecTree t;
+        t.n = cone.n();
+        DecTreeNode node;
+        node.kind = DecTreeNode::Kind::kShared;
+        node.shared = std::move(sub);
+        node.inputs.assign(kept.begin(), kept.end());
+        t.root = t.add(std::move(node));
+        return std::make_shared<const DecTree>(std::move(t));
+      }
+    }
+    return build_core(cone, depth);
+  }
+
+  /// Decomposes a support-tight cone.
+  std::shared_ptr<const DecTree> build_core(const Cone& cone, int depth) {
+    const int n = cone.n();
+    if (n == 0) {
+      const bool v = (aig::simulate_cone(cone.aig, cone.root, {}) & 1ULL) != 0;
+      return make_const_leaf(v);
+    }
+    if (n == 1) {
+      const bool v0 =
+          (aig::simulate_cone(cone.aig, cone.root, {0ULL}) & 1ULL) != 0;
+      const bool v1 =
+          (aig::simulate_cone(cone.aig, cone.root, {~0ULL}) & 1ULL) != 0;
+      if (v0 == v1) return make_const_leaf(v0);
+      return make_literal_leaf(/*negated=*/v0);
+    }
+    if (n <= opts.leaf_support || depth >= opts.max_depth || expired()) {
+      return make_cone_leaf(cone);
+    }
+
+    DecCacheKey key;
+    if (opts.cache != nullptr) {
+      if (auto hit = opts.cache->lookup(cone, &key)) {
+        if (stats != nullptr) ++stats->cache_hits;
+        DecTree t;
+        t.n = n;
+        DecTreeNode node;
+        node.kind = DecTreeNode::Kind::kShared;
+        node.shared = hit->tree;
+        node.inputs.assign(hit->map.var.begin(), hit->map.var.end());
+        node.input_neg = hit->map.neg;
+        node.output_neg = hit->map.output_neg;
+        t.root = t.add(std::move(node));
+        return std::make_shared<const DecTree>(std::move(t));
+      }
     }
 
     // Pick a gate and a partition.
@@ -35,48 +121,89 @@ struct Synthesizer {
     GateOp best_op = GateOp::kOr;
     DecomposeResult best;
     for (GateOp op : opts.ops) {
+      if (expired()) break;
       DecomposeOptions dopts = opts.per_node;
       dopts.op = op;
       dopts.engine = opts.engine;
       dopts.extract = true;
-      const DecomposeResult r = BiDecomposer(dopts).decompose(cone);
+      if (deadline != nullptr) {
+        dopts.po_budget_s =
+            std::min(dopts.po_budget_s, deadline->remaining_s());
+      }
+      DecomposeResult r = BiDecomposer(dopts).decompose(cone);
       if (r.status != DecomposeStatus::kDecomposed) continue;
       if (!have || metric_cost(r.metrics, MetricKind::kSum) <
                        metric_cost(best.metrics, MetricKind::kSum)) {
         have = true;
         best_op = op;
-        best = r;
+        best = std::move(r);
       }
       if (!opts.pick_best_op) break;
     }
     if (!have) {
-      ++stats.leaves;
-      ++stats.undecomposable;
-      return aig::copy_cone(cone.aig, cone.root, dst, dst_inputs);
+      if (stats != nullptr) ++stats->undecomposable;
+      return make_cone_leaf(cone);
     }
-    ++stats.decompositions;
+    if (stats != nullptr) ++stats->decompositions;
 
-    // Recurse into fA and fB. Each is re-extracted as a standalone cone so
-    // its inputs are exactly its own support.
+    // Recurse into fA and fB: each is re-extracted as a standalone cone so
+    // its inputs are exactly its own (structural) support.
     const ExtractedFunctions& fns = *best.functions;
+    DecTree t;
+    t.n = n;
     auto recurse = [&](aig::Lit f) {
       Cone sub;
       std::vector<std::uint32_t> used;
       std::vector<aig::Lit> created;
       sub.root = aig::extract_cone(fns.aig, f, sub.aig, used, created);
-      std::vector<aig::Lit> sub_inputs(used.size());
-      for (std::size_t i = 0; i < used.size(); ++i) {
-        sub_inputs[i] = dst_inputs[used[i]];
-      }
-      return rewrite(sub, sub_inputs, dst, depth + 1);
+      DecTreeNode node;
+      node.kind = DecTreeNode::Kind::kShared;
+      node.shared = build(sub, depth + 1);
+      node.inputs.assign(used.begin(), used.end());
+      return t.add(std::move(node));
     };
-    const aig::Lit la = recurse(fns.fa);
-    const aig::Lit lb = recurse(fns.fb);
-    return apply_gate(dst, best_op, la, lb);
+    DecTreeNode gate;
+    gate.kind = DecTreeNode::Kind::kGate;
+    gate.op = best_op;
+    gate.child0 = recurse(fns.fa);
+    gate.child1 = recurse(fns.fb);
+    t.root = t.add(std::move(gate));
+    auto result = std::make_shared<const DecTree>(std::move(t));
+    if (opts.cache != nullptr) opts.cache->insert(cone, key, DecTree(*result));
+    return result;
   }
 };
 
 }  // namespace
+
+SynthesisStats& SynthesisStats::operator+=(const SynthesisStats& o) {
+  pos_processed += o.pos_processed;
+  decompositions += o.decompositions;
+  leaves += o.leaves;
+  undecomposable += o.undecomposable;
+  cache_hits += o.cache_hits;
+  ands_before += o.ands_before;
+  ands_after += o.ands_after;
+  depth_before = std::max(depth_before, o.depth_before);
+  depth_after = std::max(depth_after, o.depth_after);
+  return *this;
+}
+
+std::shared_ptr<const DecTree> decompose_to_tree(const Cone& cone,
+                                                 const SynthesisOptions& opts,
+                                                 SynthesisStats* stats,
+                                                 const Deadline* deadline) {
+  TreeBuilder builder{opts, stats, deadline};
+  return builder.build(cone, 0);
+}
+
+bool tree_equivalent(const Cone& cone, const DecTree& tree) {
+  Cone replay;
+  std::vector<aig::Lit> inputs(cone.n());
+  for (int i = 0; i < cone.n(); ++i) inputs[i] = replay.aig.add_input();
+  replay.root = emit_tree(tree, replay.aig, inputs);
+  return cones_equivalent(cone, replay);
+}
 
 int cone_depth(const aig::Aig& a, aig::Lit root) {
   std::vector<int> level(a.num_nodes(), 0);
@@ -99,21 +226,22 @@ SynthesisResult resynthesize(const aig::Aig& circuit,
     pi_map[i] = dst.add_input(circuit.input_name(i));
   }
 
-  Synthesizer synth{opts, st};
   for (std::uint32_t po = 0; po < circuit.num_outputs(); ++po) {
     std::vector<std::uint32_t> orig_inputs;
     const Cone cone = extract_po_cone(circuit, po, &orig_inputs);
-    st.depth_before = std::max(st.depth_before,
-                               cone_depth(circuit, circuit.output(po)));
+    st.depth_before =
+        std::max(st.depth_before, cone_depth(circuit, circuit.output(po)));
     ++st.pos_processed;
 
+    auto tree = decompose_to_tree(cone, opts, &st);
     std::vector<aig::Lit> dst_inputs(orig_inputs.size());
     for (std::size_t i = 0; i < orig_inputs.size(); ++i) {
       dst_inputs[i] = pi_map[orig_inputs[i]];
     }
-    const aig::Lit out = synth.rewrite(cone, dst_inputs, dst, 0);
+    const aig::Lit out = emit_tree(*tree, dst, dst_inputs);
     dst.add_output(out, circuit.output_name(po));
     st.depth_after = std::max(st.depth_after, cone_depth(dst, out));
+    result.trees.push_back(std::move(tree));
   }
 
   st.ands_before = circuit.num_ands();

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "core/dec_cache.h"
 #include "core/decomposer.h"
 
 namespace step::core {
@@ -17,6 +19,11 @@ namespace step::core {
 /// reduce fanout sharing between the branches, balanced partitions
 /// (QB/QDB) keep the gate tree shallow — which is precisely the paper's
 /// argument for optimising εD and εB.
+///
+/// The recursion produces explicit DecTree objects (core/dec_tree.h) and
+/// can be backed by a shared NPN-canonical cache (core/dec_cache.h) so
+/// repeated cones across POs — and across recursion levels — decompose
+/// once per run.
 struct SynthesisOptions {
   /// Partition engine used at every recursion node.
   Engine engine = Engine::kQbfCombined;
@@ -29,6 +36,13 @@ struct SynthesisOptions {
   int leaf_support = 2;
   /// Hard recursion depth cap (safety; the support shrink bounds it too).
   int max_depth = 32;
+  /// Drop semantically irrelevant inputs at every recursion node before
+  /// decomposing (one SAT cofactor check per input; see core/reduce.h).
+  /// Tightens the cache key and exposes constant/literal leaves.
+  bool reduce_supports = true;
+  /// Shared decomposition cache; nullptr disables caching. The cache is
+  /// thread-safe, so one instance may serve concurrent PO workers.
+  DecCache* cache = nullptr;
   /// Per-decomposition options (budgets etc.).
   DecomposeOptions per_node;
 };
@@ -36,16 +50,32 @@ struct SynthesisOptions {
 struct SynthesisStats {
   int pos_processed = 0;
   int decompositions = 0;    ///< gates introduced by bi-decomposition
-  int leaves = 0;            ///< cones emitted verbatim
+  int leaves = 0;            ///< cones/literals/constants emitted verbatim
   int undecomposable = 0;    ///< leaves forced by failed decomposition
+  int cache_hits = 0;        ///< recursion nodes served by the cache
   std::uint32_t ands_before = 0, ands_after = 0;
   int depth_before = 0, depth_after = 0;
+
+  SynthesisStats& operator+=(const SynthesisStats& o);
 };
 
 struct SynthesisResult {
   aig::Aig network;  ///< same PIs/POs as the input circuit
   SynthesisStats stats;
+  /// Per-PO decomposition trees (aligned with the circuit's POs).
+  std::vector<std::shared_ptr<const DecTree>> trees;
 };
+
+/// Recursively bi-decomposes one cone (inputs == support) into an explicit
+/// tree, consulting and populating `opts.cache` at every non-trivial node.
+/// When `deadline` expires mid-recursion, remaining sub-cones are emitted
+/// as verbatim leaves — the result is always functionally complete.
+std::shared_ptr<const DecTree> decompose_to_tree(
+    const Cone& cone, const SynthesisOptions& opts,
+    SynthesisStats* stats = nullptr, const Deadline* deadline = nullptr);
+
+/// SAT miter: the tree replays to a function equivalent to `cone`.
+bool tree_equivalent(const Cone& cone, const DecTree& tree);
 
 /// Rewrites every PO of `circuit` by recursive bi-decomposition.
 /// The result is functionally equivalent (tests verify by miter).

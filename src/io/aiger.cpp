@@ -23,6 +23,14 @@ aig::Aig parse_aiger(std::string_view text) {
   if (!(is >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
     throw std::runtime_error("aiger: expected 'aag M I L O A' header");
   }
+  // Header sanity before any allocation is sized from it: AIGER requires
+  // M >= I + L + A, and every declared object occupies at least two bytes
+  // of text, so a header promising more than the file could possibly hold
+  // is malformed (and would otherwise drive multi-gigabyte allocations).
+  const std::uint64_t byte_limit = text.size() + 64;
+  if (static_cast<std::uint64_t>(i) + l + a > m || m > byte_limit) {
+    throw std::runtime_error("aiger: implausible header counts");
+  }
 
   aig::Aig out;
   // aiger var -> our literal (for the positive literal of that var).
@@ -71,31 +79,54 @@ aig::Aig parse_aiger(std::string_view text) {
   }
 
   // Demand-driven elaboration (ASCII aiger does not promise ordering).
-  std::vector<char> visiting(m + 1, 0);
-  auto resolve = [&](std::uint32_t lit, auto&& self) -> aig::Lit {
-    const std::uint32_t var = lit / 2;
-    if (var_map[var] == aig::kLitInvalid) {
+  // Iterative DFS: a hostile file can declare an AND chain as deep as the
+  // file is long, which would overflow the call stack if recursed.
+  std::vector<char> expanded(m + 1, 0);
+  auto edge = [&](std::uint32_t lit) {
+    return (lit & 1U) != 0 ? aig::lnot(var_map[lit / 2]) : var_map[lit / 2];
+  };
+  auto resolve = [&](std::uint32_t lit) -> aig::Lit {
+    std::vector<std::uint32_t> work{lit / 2};
+    while (!work.empty()) {
+      const std::uint32_t var = work.back();
+      if (var_map[var] != aig::kLitInvalid) {
+        expanded[var] = 0;
+        work.pop_back();
+        continue;
+      }
       auto it = ands.find(var);
       if (it == ands.end()) {
         throw std::runtime_error("aiger: undefined variable " +
                                  std::to_string(var));
       }
-      if (visiting[var]) throw std::runtime_error("aiger: cyclic definition");
-      visiting[var] = 1;
-      const aig::Lit f0 = self(it->second.rhs0, self);
-      const aig::Lit f1 = self(it->second.rhs1, self);
-      var_map[var] = out.land(f0, f1);
-      visiting[var] = 0;
+      const std::uint32_t c0 = it->second.rhs0 / 2;
+      const std::uint32_t c1 = it->second.rhs1 / 2;
+      if (expanded[var]) {
+        // Children were scheduled; unresolved ones now mean a cycle.
+        if (var_map[c0] == aig::kLitInvalid ||
+            var_map[c1] == aig::kLitInvalid) {
+          throw std::runtime_error("aiger: cyclic definition");
+        }
+        var_map[var] = out.land(edge(it->second.rhs0), edge(it->second.rhs1));
+        expanded[var] = 0;
+        work.pop_back();
+        continue;
+      }
+      expanded[var] = 1;
+      for (const std::uint32_t c : {c0, c1}) {
+        if (var_map[c] != aig::kLitInvalid) continue;
+        if (expanded[c]) throw std::runtime_error("aiger: cyclic definition");
+        work.push_back(c);
+      }
     }
-    return (lit & 1U) != 0 ? aig::lnot(var_map[var]) : var_map[var];
+    return edge(lit);
   };
 
   for (std::uint32_t k = 0; k < o; ++k) {
-    out.add_output(resolve(output_lits[k], resolve), "o" + std::to_string(k));
+    out.add_output(resolve(output_lits[k]), "o" + std::to_string(k));
   }
   for (std::uint32_t k = 0; k < l; ++k) {
-    out.add_output(resolve(latch_next[k], resolve),
-                   "l" + std::to_string(k) + "_next");
+    out.add_output(resolve(latch_next[k]), "l" + std::to_string(k) + "_next");
   }
 
   // Symbol table and comments.

@@ -22,10 +22,17 @@ Network parse_pla(std::string_view text) {
     std::string tok;
     if (!(ls >> tok)) continue;
 
+    // Width caps keep a malformed header from sizing gigabyte allocations
+    // (real PLAs are orders of magnitude below both limits).
+    constexpr int kMaxWidth = 1 << 20;
     if (tok == ".i") {
-      if (!(ls >> n_in) || n_in <= 0) throw std::runtime_error("pla: bad .i");
+      if (!(ls >> n_in) || n_in <= 0 || n_in > kMaxWidth) {
+        throw std::runtime_error("pla: bad .i");
+      }
     } else if (tok == ".o") {
-      if (!(ls >> n_out) || n_out <= 0) throw std::runtime_error("pla: bad .o");
+      if (!(ls >> n_out) || n_out <= 0 || n_out > kMaxWidth) {
+        throw std::runtime_error("pla: bad .o");
+      }
     } else if (tok == ".ilb") {
       std::string n;
       while (ls >> n) in_names.push_back(n);
@@ -53,6 +60,11 @@ Network parse_pla(std::string_view text) {
     }
   }
   if (n_in < 0 || n_out < 0) throw std::runtime_error("pla: missing .i/.o");
+  // Elaboration materializes n_out SOP nodes of n_in fanins each; bound
+  // the product so a hostile header cannot explode to_aig() either.
+  if (static_cast<long long>(n_in) * n_out > (1LL << 24)) {
+    throw std::runtime_error("pla: implausible .i x .o product");
+  }
 
   Network net;
   net.name = "pla";

@@ -1,0 +1,162 @@
+// Direct unit tests of the decomposition-tree store: DecTree emission,
+// NPN-rewired cache hits (every variant of a stored function must replay
+// to the variant's own truth table), the semantic signature + SAT
+// confirmation path for wide cones, and the stats counters.
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "benchgen/generators.h"
+#include "core/circuit_driver.h"
+#include "test_util.h"
+
+namespace step::core {
+namespace {
+
+Cone cone_of(const aig::Aig& circ, std::uint32_t po) {
+  return extract_po_cone(circ, po);
+}
+
+SynthesisOptions mg_opts(DecCache* cache) {
+  SynthesisOptions o;
+  o.engine = Engine::kMg;
+  o.pick_best_op = true;
+  o.cache = cache;
+  return o;
+}
+
+TruthTable cone_tt(const Cone& c) {
+  std::vector<std::uint32_t> support(c.n());
+  for (int i = 0; i < c.n(); ++i) support[i] = i;
+  return aig::truth_table(c.aig, c.root, support);
+}
+
+TruthTable tree_tt(const DecTree& t, int n) {
+  aig::Aig scratch;
+  std::vector<aig::Lit> inputs(n);
+  for (int i = 0; i < n; ++i) inputs[i] = scratch.add_input();
+  const aig::Lit root = emit_tree(t, scratch, inputs);
+  Cone c;
+  c.aig = std::move(scratch);
+  c.root = root;
+  return cone_tt(c);
+}
+
+TEST(DecTree, EmitReplaysLeafKinds) {
+  DecTree t;
+  t.n = 2;
+  DecTreeNode lit_a;
+  lit_a.kind = DecTreeNode::Kind::kLiteral;
+  lit_a.input = 0;
+  DecTreeNode lit_b;
+  lit_b.kind = DecTreeNode::Kind::kLiteral;
+  lit_b.input = 1;
+  lit_b.negated = true;
+  DecTreeNode gate;
+  gate.kind = DecTreeNode::Kind::kGate;
+  gate.op = GateOp::kAnd;
+  gate.child0 = t.add(std::move(lit_a));
+  gate.child1 = t.add(std::move(lit_b));
+  t.root = t.add(std::move(gate));
+
+  // f(a, b) = a & !b: rows 0..3 -> 0, 1, 0, 0.
+  EXPECT_EQ(tree_tt(t, 2), TruthTable{0x2ULL});
+  const DecTreeStats s = t.stats();
+  EXPECT_EQ(s.gates, 1);
+  EXPECT_EQ(s.literal_leaves, 2);
+  EXPECT_EQ(s.depth, 1);
+}
+
+TEST(DecCache, NpnVariantsAreServedByOneStoredTree) {
+  // Store a tree for one function, then query rewired variants: input
+  // permutations, input negations, output negation. Every hit must
+  // replay to the variant's own truth table.
+  DecCache cache;
+  SynthesisOptions opts = mg_opts(&cache);
+
+  // f = (a & b) | c — decomposable, support 3.
+  aig::Aig circ;
+  const aig::Lit a = circ.add_input("a");
+  const aig::Lit b = circ.add_input("b");
+  const aig::Lit c = circ.add_input("c");
+  circ.add_output(circ.lor(circ.land(a, b), c), "f");
+  const Cone base = cone_of(circ, 0);
+  (void)decompose_to_tree(base, opts);
+  ASSERT_EQ(cache.stats().insertions, 1u);
+
+  // Variants: permuted inputs, complemented inputs, complemented output.
+  aig::Aig vc;
+  const aig::Lit x = vc.add_input("x");
+  const aig::Lit y = vc.add_input("y");
+  const aig::Lit z = vc.add_input("z");
+  vc.add_output(vc.lor(vc.land(z, y), x), "perm");          // c<->a swap
+  vc.add_output(vc.lor(vc.land(aig::lnot(x), y), z), "neg"); // !a
+  vc.add_output(aig::lnot(vc.lor(vc.land(x, y), z)), "out"); // !f
+  for (std::uint32_t po = 0; po < 3; ++po) {
+    const Cone variant = cone_of(vc, po);
+    auto tree = decompose_to_tree(variant, opts);
+    EXPECT_EQ(tree_tt(*tree, variant.n()), cone_tt(variant))
+        << vc.output_name(po);
+  }
+  const DecCacheStats s = cache.stats();
+  EXPECT_EQ(s.npn_hits, 3u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(DecCache, WideConesUseSignatureAndSatConfirmation) {
+  // Support 8 > kNpnMaxSupport: identical cones must hit through the
+  // signature path with exactly one SAT confirmation each.
+  DecCache cache;
+  SynthesisOptions opts = mg_opts(&cache);
+  opts.reduce_supports = false;  // keep the wide support intact
+
+  const aig::Aig p1 = benchgen::parity_tree(8);
+  const aig::Aig p2 = benchgen::parity_tree(8);
+  const Cone c1 = cone_of(p1, 0);
+  auto t1 = decompose_to_tree(c1, opts);
+  const DecCacheStats after_first = cache.stats();
+  EXPECT_EQ(after_first.sig_hits, 0u);
+  EXPECT_GT(after_first.insertions, 0u);
+
+  const Cone c2 = cone_of(p2, 0);
+  auto t2 = decompose_to_tree(c2, opts);
+  const DecCacheStats s = cache.stats();
+  EXPECT_GE(s.sig_hits, 1u);
+  EXPECT_GE(s.sat_confirms, 1u);
+  EXPECT_EQ(s.sat_refutes, 0u);
+  EXPECT_TRUE(tree_equivalent(c2, *t2));
+}
+
+TEST(DecCache, LookupInsertRoundTripPreservesFunctions) {
+  // Randomized: decompose random cones with a shared cache and verify
+  // every produced tree against its cone — hits included.
+  DecCache cache;
+  SynthesisOptions opts = mg_opts(&cache);
+  Rng rng(0xdecca);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int n = rng.next_int(2, 6);
+    const Cone cone =
+        testutil::random_cone(n, rng.next_int(3, 18), rng.next());
+    auto tree = decompose_to_tree(cone, opts);
+    EXPECT_TRUE(tree_equivalent(cone, *tree)) << "iter " << iter;
+  }
+  const DecCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, s.hits() + s.misses);
+  EXPECT_GT(s.hits(), 0u);  // 40 small random cones always repeat classes
+}
+
+TEST(DecCache, ClearResetsStateAndStats) {
+  DecCache cache;
+  SynthesisOptions opts = mg_opts(&cache);
+  const aig::Aig circ = benchgen::random_sop(2, 2, 1, 3, 3, 0xc1ea);
+  for (std::uint32_t po = 0; po < circ.num_outputs(); ++po) {
+    (void)decompose_to_tree(cone_of(circ, po), opts);
+  }
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+}  // namespace
+}  // namespace step::core

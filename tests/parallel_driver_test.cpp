@@ -180,5 +180,56 @@ TEST(ParallelDriver, StressTinySuiteManyThreads) {
   }
 }
 
+// ---------- recursive resynthesis driver ----------------------------------
+
+TEST(ParallelResynth, SharedCacheUnderManyWorkersStaysCorrect) {
+  // One NPN cache shared by 8 workers over a merged circuit with many
+  // duplicate cones: whatever interleaving the pool produces, every PO
+  // tree must SAT-verify and the assembled netlist must be equivalent.
+  const aig::Aig circ = benchgen::merge(
+      {benchgen::ripple_adder(4), benchgen::ripple_adder(4),
+       benchgen::counter_next(5), benchgen::comparator(3)});
+  core::DecCache cache;
+  core::SynthesisOptions opts;
+  opts.engine = core::Engine::kMg;
+  opts.pick_best_op = true;
+  opts.cache = &cache;
+  for (int round = 0; round < 3; ++round) {
+    const core::CircuitResynthResult r = core::run_circuit_resynth(
+        circ, "par", opts, 120.0, {8}, /*verify=*/true);
+    EXPECT_TRUE(r.all_verified) << "round " << round;
+    for (const core::PoResynthOutcome& po : r.pos) {
+      EXPECT_TRUE(po.verified) << "po " << po.po_index;
+    }
+  }
+  // After the first round the cache holds every class, so later rounds
+  // are served almost entirely from it.
+  const core::DecCacheStats s = cache.stats();
+  EXPECT_GT(s.hits(), 0u);
+  EXPECT_GT(s.insertions, 0u);
+}
+
+TEST(ParallelResynth, ParallelNetworkEquivalentToSequential) {
+  // Tree construction is per-PO deterministic; with the cache *off* the
+  // parallel netlist must be byte-identical to the sequential one
+  // (deterministic PO-order assembly). With caching on, only equivalence
+  // is promised (hit order is a race), which ParallelResynthShared
+  // covers; here we pin the determinism contract.
+  const aig::Aig circ =
+      benchgen::merge({benchgen::random_sop(3, 3, 1, 4, 3, 0xabc),
+                       benchgen::parity_tree(6)});
+  core::SynthesisOptions opts;
+  opts.engine = core::Engine::kMg;
+  opts.pick_best_op = true;
+  const auto seq = core::run_circuit_resynth(circ, "c", opts, 120.0, {1});
+  const auto par = core::run_circuit_resynth(circ, "c", opts, 120.0, {6});
+  ASSERT_EQ(seq.network.num_outputs(), par.network.num_outputs());
+  EXPECT_EQ(seq.network.num_ands(), par.network.num_ands());
+  for (std::uint32_t o = 0; o < seq.network.num_outputs(); ++o) {
+    EXPECT_EQ(seq.network.output(o), par.network.output(o)) << "po " << o;
+  }
+  EXPECT_EQ(seq.stats.decompositions, par.stats.decompositions);
+}
+
 }  // namespace
 }  // namespace step

@@ -1,12 +1,19 @@
 // Algebraic properties of bi-decomposition the implementation must obey:
 // AND/OR duality, XA/XB symmetry, metric invariances, validity monotonicity
-// under op-specific transformations. These catch formulation bugs that
+// under op-specific transformations — plus the end-to-end property of the
+// recursive subsystem: resynthesized netlists are SAT-equivalent to their
+// source circuit for every engine. These catch formulation bugs that
 // single-point tests cannot.
 
 #include <gtest/gtest.h>
 
 #include "aig/ops.h"
+#include "benchgen/generators.h"
+#include "benchgen/suite.h"
+#include "cnf/tseitin.h"
+#include "core/circuit_driver.h"
 #include "core/partition_check.h"
+#include "sat/solver.h"
 #include "test_util.h"
 
 namespace step::core {
@@ -145,6 +152,90 @@ TEST_P(PropertySeeds, SatCheckerAgreesOnSwappedPartitions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Recursive resynthesis equivalence harness: for a stream of seeded random
+// circuits, the recursive decomposition subsystem (with the shared NPN
+// cache) must produce a netlist SAT-provably equivalent to the original —
+// under every engine. A failure prints the reproducing seed.
+// ---------------------------------------------------------------------------
+
+using testutil::circuits_equivalent;
+
+/// Seeded random circuit, rotating through the generator families so the
+/// harness exercises SOP-style, DAG-style and structured cones.
+aig::Aig harness_circuit(int seed) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b9ULL + 12345);
+  switch (seed % 4) {
+    case 0:
+      return benchgen::random_dag(rng.next_int(3, 6), rng.next_int(6, 24),
+                                  rng.next_int(2, 3), rng.next());
+    case 1:
+      return benchgen::random_sop(rng.next_int(1, 2), rng.next_int(1, 2),
+                                  rng.next_int(1, 2), rng.next_int(2, 3),
+                                  rng.next_int(2, 4), rng.next());
+    case 2:
+      return benchgen::random_dag(rng.next_int(4, 7), rng.next_int(10, 30),
+                                  2, rng.next());
+    default:
+      return benchgen::merge({benchgen::parity_tree(rng.next_int(3, 5)),
+                              benchgen::random_dag(rng.next_int(3, 5),
+                                                   rng.next_int(4, 12), 1,
+                                                   rng.next())});
+  }
+}
+
+class ResynthEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResynthEquivalence, RecursiveTreesStayEquivalentForAllEngines) {
+  const int seed = GetParam();
+  const aig::Aig circ = harness_circuit(seed);
+  DecCache cache;  // shared across engines: hits must not break equivalence
+  for (Engine engine :
+       {Engine::kMg, Engine::kQbfDisjoint, Engine::kQbfCombined}) {
+    SynthesisOptions opts;
+    opts.engine = engine;
+    opts.cache = &cache;
+    opts.per_node.optimum.call_timeout_s = 2.0;
+    const CircuitResynthResult r = run_circuit_resynth(
+        circ, "harness", opts, /*budget_s=*/60.0, {}, /*verify=*/true);
+    EXPECT_TRUE(r.all_verified)
+        << "per-PO miter failed; engine=" << to_string(engine)
+        << " reproducing seed=" << seed;
+    EXPECT_TRUE(circuits_equivalent(circ, r.network))
+        << "netlist miter failed; engine=" << to_string(engine)
+        << " reproducing seed=" << seed;
+  }
+}
+
+// >= 50 seeded random circuits in CI (acceptance floor of the harness).
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, ResynthEquivalence,
+                         ::testing::Range(0, 50));
+
+TEST(ResynthSuite, EveryBundledCircuitVerifiesForAllEngines) {
+  // The CLI-level acceptance property: `step resynth` on every bundled
+  // benchmark circuit terminates with a netlist SAT-proven equivalent to
+  // the input, under each engine, with the shared cache on.
+  for (const benchgen::BenchCircuit& c :
+       benchgen::standard_suite(benchgen::SuiteScale::kTiny)) {
+    for (Engine engine :
+         {Engine::kMg, Engine::kQbfDisjoint, Engine::kQbfCombined}) {
+      DecCache cache;
+      SynthesisOptions opts;
+      opts.engine = engine;
+      opts.pick_best_op = true;
+      opts.cache = &cache;
+      opts.per_node.optimum.call_timeout_s = 1.0;
+      opts.per_node.po_budget_s = 5.0;
+      const CircuitResynthResult r = run_circuit_resynth(
+          c.aig, c.name, opts, /*budget_s=*/60.0, {}, /*verify=*/true);
+      EXPECT_TRUE(r.all_verified)
+          << c.name << " under " << to_string(engine);
+      EXPECT_TRUE(circuits_equivalent(c.aig, r.network))
+          << c.name << " under " << to_string(engine);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace step::core

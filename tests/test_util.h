@@ -1,10 +1,38 @@
 #pragma once
 
 #include "aig/simulate.h"
+#include "cnf/tseitin.h"
 #include "common/rng.h"
 #include "core/bidec_types.h"
+#include "sat/solver.h"
 
 namespace step::testutil {
+
+/// SAT miter: every output of `a` equals the same-index output of `b`
+/// (over shared, positionally identified inputs).
+inline bool circuits_equivalent(const aig::Aig& a, const aig::Aig& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  sat::Solver solver;
+  std::vector<sat::Lit> in(a.num_inputs());
+  for (auto& l : in) l = sat::mk_lit(solver.new_var());
+  cnf::SolverSink sink(solver);
+  sat::LitVec any_diff;
+  for (std::uint32_t o = 0; o < a.num_outputs(); ++o) {
+    const sat::Lit la = cnf::encode_cone(a, a.output(o), in, sink);
+    const sat::Lit lb = cnf::encode_cone(b, b.output(o), in, sink);
+    // d <-> la xor lb
+    const sat::Lit d = sat::mk_lit(solver.new_var());
+    sink.add_ternary(~d, la, lb);
+    sink.add_ternary(~d, ~la, ~lb);
+    sink.add_ternary(d, ~la, lb);
+    sink.add_ternary(d, la, ~lb);
+    any_diff.push_back(d);
+  }
+  solver.add_clause(any_diff);
+  return solver.solve() == sat::Result::kUnsat;
+}
 
 /// Random single-output cone with exactly n inputs, all structurally used
 /// or not — callers that need full support should retry or accept subsets.

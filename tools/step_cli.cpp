@@ -15,7 +15,12 @@
 //                         reference for the default incremental mode)
 //   --stats               print aggregated solver-cost counters (SAT/QBF
 //                         calls, CEGAR iterations, conflicts) after the table
-//   -j <n>                worker threads for decompose (0 = all cores)
+//   --recursive           decompose: recurse per PO into a full tree and
+//                         report tree area/depth instead of a single split
+//   --cache-stats         print NPN-decomposition-cache counters after the run
+//   --no-cache            resynth/recursive: disable the decomposition cache
+//   --verify              resynth: SAT-prove every PO tree equivalent
+//   -j <n>                worker threads for decompose/resynth (0 = all cores)
 //   -o <out.blif>         output file for resynth (default stdout)
 
 #include <cstdio>
@@ -44,6 +49,10 @@ struct CliOptions {
   int num_threads = 1;
   bool incremental = true;
   bool print_stats = false;
+  bool recursive = false;
+  bool cache_stats = false;
+  bool use_cache = true;
+  bool verify = false;
 };
 
 [[noreturn]] void usage() {
@@ -51,6 +60,7 @@ struct CliOptions {
                "usage: step <decompose|resynth|stats> <circuit.blif>\n"
                "  -op or|and|xor  -engine ljh|mg|qd|qb|qdb\n"
                "  -timeout <s>  -qbf-timeout <s>  -scratch  --stats\n"
+               "  --recursive  --cache-stats  --no-cache  --verify\n"
                "  -j <threads>  -o <out.blif>\n");
   std::exit(2);
 }
@@ -85,6 +95,14 @@ CliOptions parse_args(int argc, char** argv) {
       cli.incremental = false;
     } else if (flag == "--stats" || flag == "-stats") {
       cli.print_stats = true;
+    } else if (flag == "--recursive" || flag == "-recursive") {
+      cli.recursive = true;
+    } else if (flag == "--cache-stats" || flag == "-cache-stats") {
+      cli.cache_stats = true;
+    } else if (flag == "--no-cache" || flag == "-no-cache") {
+      cli.use_cache = false;
+    } else if (flag == "--verify" || flag == "-verify") {
+      cli.verify = true;
     } else if (flag == "-j") {
       cli.num_threads = std::atoi(value());
     } else if (flag == "-o") {
@@ -164,18 +182,86 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   return 0;
 }
 
-int cmd_resynth(const CliOptions& cli, const aig::Aig& circuit) {
+core::SynthesisOptions synthesis_options(const CliOptions& cli,
+                                         core::DecCache* cache) {
   core::SynthesisOptions opts;
   opts.engine = cli.engine;
   opts.pick_best_op = true;
+  opts.cache = cache;
   opts.per_node.optimum.call_timeout_s = cli.qbf_timeout_s;
-  const core::SynthesisResult r = core::resynthesize(circuit, opts);
+  return opts;
+}
+
+void print_cache_stats(const core::DecCacheStats& c) {
   std::fprintf(stderr,
-               "# resynth: %d decompositions, %d leaves (%d atomic);"
-               " ANDs %u -> %u, depth %d -> %d\n",
+               "# cache: lookups=%llu npn_hits=%llu sig_hits=%llu"
+               " misses=%llu hit_rate=%.1f%%\n",
+               static_cast<unsigned long long>(c.lookups),
+               static_cast<unsigned long long>(c.npn_hits),
+               static_cast<unsigned long long>(c.sig_hits),
+               static_cast<unsigned long long>(c.misses), 100.0 * c.hit_rate());
+  std::fprintf(stderr,
+               "# cache: insertions=%llu sat_confirms=%llu sat_refutes=%llu\n",
+               static_cast<unsigned long long>(c.insertions),
+               static_cast<unsigned long long>(c.sat_confirms),
+               static_cast<unsigned long long>(c.sat_refutes));
+}
+
+core::CircuitResynthResult run_resynth(const CliOptions& cli,
+                                       const io::Network& net,
+                                       const aig::Aig& circuit, bool verify) {
+  core::DecCache cache;
+  core::SynthesisOptions opts =
+      synthesis_options(cli, cli.use_cache ? &cache : nullptr);
+  core::ParallelDriverOptions par;
+  par.num_threads = cli.num_threads;
+  return core::run_circuit_resynth(circuit, net.name, opts, cli.timeout_s, par,
+                                   verify);
+}
+
+/// `step decompose --recursive`: full per-PO decomposition trees.
+int cmd_decompose_recursive(const CliOptions& cli, const io::Network& net,
+                            const aig::Aig& circuit) {
+  const core::CircuitResynthResult r =
+      run_resynth(cli, net, circuit, cli.verify);
+  std::printf("%-6s %8s %6s %7s %7s %7s %9s\n", "po", "support", "gates",
+              "leaves", "depth0", "depth1", "cpu(s)");
+  for (const core::PoResynthOutcome& po : r.pos) {
+    std::printf("%-6d %8d %6d %7d %7d %7d %9.3f\n", po.po_index, po.support,
+                po.tree.gates, po.tree.cone_leaves, po.depth_before,
+                po.depth_after, po.cpu_s);
+  }
+  std::printf("# %s recursive: %d splits, %d leaves (%d atomic),"
+              " %d cache hits; ANDs %u -> %u, depth %d -> %d, %.2f s\n",
+              core::to_string(cli.engine), r.stats.decompositions,
+              r.stats.leaves, r.stats.undecomposable, r.stats.cache_hits,
+              r.stats.ands_before, r.stats.ands_after, r.stats.depth_before,
+              r.stats.depth_after, r.total_cpu_s);
+  if (cli.verify) {
+    std::printf("# verify: %s\n",
+                r.all_verified ? "all POs SAT-proven equivalent"
+                               : "MISMATCH — a PO failed the miter check");
+  }
+  if (cli.cache_stats) print_cache_stats(r.cache);
+  return cli.verify && !r.all_verified ? 1 : 0;
+}
+
+int cmd_resynth(const CliOptions& cli, const io::Network& net,
+                const aig::Aig& circuit) {
+  const core::CircuitResynthResult r =
+      run_resynth(cli, net, circuit, cli.verify);
+  std::fprintf(stderr,
+               "# resynth: %d decompositions, %d leaves (%d atomic),"
+               " %d cache hits; ANDs %u -> %u, depth %d -> %d\n",
                r.stats.decompositions, r.stats.leaves, r.stats.undecomposable,
-               r.stats.ands_before, r.stats.ands_after, r.stats.depth_before,
-               r.stats.depth_after);
+               r.stats.cache_hits, r.stats.ands_before, r.stats.ands_after,
+               r.stats.depth_before, r.stats.depth_after);
+  if (cli.verify) {
+    std::fprintf(stderr, "# verify: %s\n",
+                 r.all_verified ? "all POs SAT-proven equivalent"
+                                : "MISMATCH — a PO failed the miter check");
+  }
+  if (cli.cache_stats) print_cache_stats(r.cache);
   const std::string text = io::write_blif(r.network, "resynth");
   if (cli.output.empty()) {
     std::fputs(text.c_str(), stdout);
@@ -183,7 +269,7 @@ int cmd_resynth(const CliOptions& cli, const aig::Aig& circuit) {
     io::write_blif_file(r.network, cli.output, "resynth");
     std::fprintf(stderr, "# wrote %s\n", cli.output.c_str());
   }
-  return 0;
+  return cli.verify && !r.all_verified ? 1 : 0;
 }
 
 }  // namespace
@@ -194,8 +280,11 @@ int main(int argc, char** argv) try {
   const aig::Aig circuit = io::to_combinational(net);
 
   if (cli.command == "stats") return cmd_stats(net, circuit);
-  if (cli.command == "decompose") return cmd_decompose(cli, net, circuit);
-  if (cli.command == "resynth") return cmd_resynth(cli, circuit);
+  if (cli.command == "decompose") {
+    return cli.recursive ? cmd_decompose_recursive(cli, net, circuit)
+                         : cmd_decompose(cli, net, circuit);
+  }
+  if (cli.command == "resynth") return cmd_resynth(cli, net, circuit);
   usage();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "step: %s\n", e.what());
