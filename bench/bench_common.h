@@ -8,22 +8,105 @@
 #include <vector>
 
 #include "benchgen/suite.h"
+#include "common/rng.h"
 #include "core/circuit_driver.h"
 
 namespace step::bench {
 
-/// Parses `--json <path>` from argv; empty string = no JSON output.
-inline std::string json_path_from_args(int argc, char** argv) {
+// ---- SAT solver configurations A/B'd by the benches --------------------
+// One definition so the committed BENCH_sat.json, the google-benchmark
+// micro variants and any future consumer compare the *same* baselines.
+
+/// The shipping defaults (Luby restarts, LBD tiers, inprocessing,
+/// target-phase rephasing, binary watch lists).
+inline sat::SolverOptions modern_sat_config() { return {}; }
+
+/// The shipping defaults with EMA restarts instead of Luby — kept in the
+/// A/B so the restart trade-off stays measured (EMA wins hard single-shot
+/// refutations, Luby the incremental search loop).
+inline sat::SolverOptions modern_ema_sat_config() {
+  sat::SolverOptions o;
+  o.restart_mode = sat::RestartMode::kEma;
+  return o;
+}
+
+/// The pre-modernization (PR-3) solver: Luby restarts and the old
+/// size-triggered activity-only halving; no tiers, no inprocessing, no
+/// rephasing.
+inline sat::SolverOptions legacy_sat_config() {
+  sat::SolverOptions o;
+  o.restart_mode = sat::RestartMode::kLuby;
+  o.rephase_interval = 0;
+  o.inprocess = false;
+  o.core_lbd_cut = 0;
+  o.tier2_lbd_cut = 0;
+  o.reduce_interval = 1 << 30;
+  o.reduce_min_local = 0;
+  return o;
+}
+
+// ---- shared micro SAT instances ----------------------------------------
+
+/// Pigeonhole principle with `holes`+1 pigeons (UNSAT).
+inline void add_pigeonhole(sat::Solver& s, int holes) {
+  std::vector<std::vector<sat::Var>> p(holes + 1, std::vector<sat::Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (auto& row : p) {
+    sat::LitVec c;
+    for (auto v : row) c.push_back(sat::mk_lit(v));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int i = 0; i <= holes; ++i) {
+      for (int j = i + 1; j <= holes; ++j) {
+        s.add_clause({~sat::mk_lit(p[i][h]), ~sat::mk_lit(p[j][h])});
+      }
+    }
+  }
+}
+
+/// Uniform random 3-CNF at the given clause/variable ratio.
+inline void add_random3cnf(sat::Solver& s, int nv, double ratio,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < nv; ++i) s.new_var();
+  const int nc = static_cast<int>(nv * ratio);
+  for (int c = 0; c < nc; ++c) {
+    sat::LitVec cl;
+    for (int j = 0; j < 3; ++j) {
+      cl.push_back(sat::mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+    }
+    s.add_clause(cl);
+  }
+}
+
+/// Parses `<flag> <path>` from argv; empty string = flag absent.
+inline std::string path_from_args(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json: missing output path\n");
+        std::fprintf(stderr, "%s: missing output path\n", flag);
         std::exit(2);
       }
       return argv[i + 1];
     }
   }
   return {};
+}
+
+/// True iff the bare flag appears in argv.
+inline bool flag_from_args(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Parses `--json <path>` from argv; empty string = no JSON output.
+inline std::string json_path_from_args(int argc, char** argv) {
+  return path_from_args(argc, argv, "--json");
 }
 
 /// Tiny streaming JSON writer — just enough structure for the bench

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "benchgen/generators.h"
 #include "cnf/cnf.h"
 #include "cnf/tseitin.h"
@@ -20,50 +21,88 @@ namespace {
 
 using namespace step;
 
-void bm_sat_random3cnf(benchmark::State& state) {
+/// Solver configurations A/B'd by the `_modern` / `_legacy` variants —
+/// shared with the committed BENCH_sat.json comparison (bench_common.h).
+sat::SolverOptions modern_cfg() { return bench::modern_sat_config(); }
+sat::SolverOptions legacy_cfg() { return bench::legacy_sat_config(); }
+
+void run_random3cnf(benchmark::State& state, const sat::SolverOptions& cfg) {
   const int nv = static_cast<int>(state.range(0));
-  const int nc = static_cast<int>(nv * 4.1);
-  Rng rng(12345);
   for (auto _ : state) {
-    sat::Solver s;
-    for (int i = 0; i < nv; ++i) s.new_var();
-    for (int c = 0; c < nc; ++c) {
-      sat::LitVec cl;
-      for (int j = 0; j < 3; ++j) {
-        cl.push_back(sat::mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
-      }
-      s.add_clause(cl);
-    }
+    sat::Solver s(cfg);
+    bench::add_random3cnf(s, nv, 4.1, 12345);
     benchmark::DoNotOptimize(s.solve());
   }
+}
+
+void bm_sat_random3cnf(benchmark::State& state) {
+  run_random3cnf(state, modern_cfg());
 }
 BENCHMARK(bm_sat_random3cnf)->Arg(50)->Arg(100)->Arg(200);
 
-void bm_sat_pigeonhole(benchmark::State& state) {
+void bm_sat_random3cnf_legacy(benchmark::State& state) {
+  run_random3cnf(state, legacy_cfg());
+}
+BENCHMARK(bm_sat_random3cnf_legacy)->Arg(200);
+
+void run_pigeonhole(benchmark::State& state, const sat::SolverOptions& cfg) {
   const int holes = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sat::Solver s;
-    std::vector<std::vector<sat::Var>> p(holes + 1,
-                                         std::vector<sat::Var>(holes));
-    for (auto& row : p) {
-      for (auto& v : row) v = s.new_var();
-    }
-    for (auto& row : p) {
-      sat::LitVec c;
-      for (auto v : row) c.push_back(sat::mk_lit(v));
-      s.add_clause(c);
-    }
-    for (int h = 0; h < holes; ++h) {
-      for (int i = 0; i <= holes; ++i) {
-        for (int j = i + 1; j <= holes; ++j) {
-          s.add_clause({~sat::mk_lit(p[i][h]), ~sat::mk_lit(p[j][h])});
-        }
-      }
-    }
+    sat::Solver s(cfg);
+    bench::add_pigeonhole(s, holes);
     benchmark::DoNotOptimize(s.solve());
   }
 }
+
+void bm_sat_pigeonhole(benchmark::State& state) {
+  run_pigeonhole(state, modern_cfg());
+}
 BENCHMARK(bm_sat_pigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void bm_sat_pigeonhole_legacy(benchmark::State& state) {
+  run_pigeonhole(state, legacy_cfg());
+}
+BENCHMARK(bm_sat_pigeonhole_legacy)->Arg(6)->Arg(7);
+
+/// The incremental pattern of the CEGAR loops: one solver, a growing
+/// clause set, many assumption-driven solve() calls — the case the
+/// inter-solve inprocessing targets.
+void run_incremental_assumptions(benchmark::State& state,
+                                 const sat::SolverOptions& cfg) {
+  const int nv = 60;
+  for (auto _ : state) {
+    Rng rng(4242);
+    sat::Solver s(cfg);
+    for (int i = 0; i < nv; ++i) s.new_var();
+    for (int round = 0; round < 40; ++round) {
+      for (int c = 0; c < 12; ++c) {
+        sat::LitVec cl;
+        const int w = rng.next_int(2, 4);
+        for (int j = 0; j < w; ++j) {
+          cl.push_back(sat::mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+        }
+        s.add_clause(cl);
+      }
+      sat::LitVec assumps;
+      for (int a = 0; a < 3; ++a) {
+        assumps.push_back(
+            sat::mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+      }
+      benchmark::DoNotOptimize(s.solve(assumps));
+      if (!s.is_ok()) break;
+    }
+  }
+}
+
+void bm_sat_incremental_modern(benchmark::State& state) {
+  run_incremental_assumptions(state, modern_cfg());
+}
+BENCHMARK(bm_sat_incremental_modern);
+
+void bm_sat_incremental_legacy(benchmark::State& state) {
+  run_incremental_assumptions(state, legacy_cfg());
+}
+BENCHMARK(bm_sat_incremental_legacy);
 
 void bm_qbf_partition_query(benchmark::State& state) {
   // One QD bound query on a mux-tree cone (the paper's inner loop).
@@ -116,7 +155,8 @@ void bm_aig_strash(benchmark::State& state) {
 BENCHMARK(bm_aig_strash)->Arg(1000)->Arg(10000);
 
 void bm_tseitin_encode(benchmark::State& state) {
-  const aig::Aig mult = benchgen::array_multiplier(static_cast<int>(state.range(0)));
+  const aig::Aig mult =
+      benchgen::array_multiplier(static_cast<int>(state.range(0)));
   const core::Cone cone =
       core::extract_po_cone(mult, mult.num_outputs() - 2);
   for (auto _ : state) {

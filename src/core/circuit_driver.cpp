@@ -58,6 +58,12 @@ std::uint64_t CircuitRunResult::total_verification_conflicts() const {
   return s;
 }
 
+sat::Solver::Stats CircuitRunResult::total_solver_stats() const {
+  sat::Solver::Stats s;
+  for (const PoOutcome& p : pos) s += p.solver_stats;
+  return s;
+}
+
 CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                              const DecomposeOptions& opts,
                              double circuit_budget_s,
@@ -121,6 +127,7 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     outcome.qbf_iterations = r.qbf_iterations;
     outcome.qbf_abstraction_conflicts = r.qbf_abstraction_conflicts;
     outcome.qbf_verification_conflicts = r.qbf_verification_conflicts;
+    outcome.solver_stats = r.solver_stats;
   };
 
   const int threads =

@@ -23,6 +23,7 @@ struct PoOutcome {
   int qbf_iterations = 0;
   std::uint64_t qbf_abstraction_conflicts = 0;
   std::uint64_t qbf_verification_conflicts = 0;
+  sat::Solver::Stats solver_stats;  ///< low-level SAT counters, all solvers
 };
 
 /// One engine applied to every decomposable-candidate PO of a circuit —
@@ -45,6 +46,9 @@ struct CircuitRunResult {
   long total_qbf_iterations() const;
   std::uint64_t total_abstraction_conflicts() const;
   std::uint64_t total_verification_conflicts() const;
+  /// Sum of the per-PO low-level SAT statistics (restarts, tier occupancy,
+  /// inprocessing counters, …) — `step decompose --stats` prints these.
+  sat::Solver::Stats total_solver_stats() const;
 };
 
 /// Fan-out policy of run_circuit. Per-PO decomposition jobs are

@@ -19,7 +19,7 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
   }
 
   const RelaxationMatrix matrix = build_relaxation_matrix(cone, opts_.op);
-  RelaxationSolver rs(matrix);
+  RelaxationSolver rs(matrix, opts_.sat);
 
   auto finish_with_partition = [&](Partition p, bool proven) {
     res.status = DecomposeStatus::kDecomposed;
@@ -37,8 +37,9 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
 
   switch (opts_.engine) {
     case Engine::kLjh: {
-      LjhDecomposer ljh(matrix, opts_.ljh);
+      LjhDecomposer ljh(matrix, opts_.ljh, opts_.sat);
       const PartitionSearchResult r = ljh.find_partition(&deadline);
+      res.solver_stats += ljh.solver_stats();
       if (r.found) {
         finish_with_partition(r.partition, false);
       } else {
@@ -78,13 +79,16 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
           break;
         }
       }
-      QbfPartitionFinder finder(matrix, opts_.qbf);
+      QbfFinderOptions qbf_opts = opts_.qbf;
+      qbf_opts.cegar.sat = opts_.sat;
+      QbfPartitionFinder finder(matrix, qbf_opts);
       OptimumSearch search(finder, model, opts_.optimum);
       const OptimumResult r = search.run(bootstrap, &deadline);
       res.qbf_calls = r.qbf_calls;
       res.qbf_iterations = finder.total_iterations();
       res.qbf_abstraction_conflicts = finder.abstraction_conflicts();
       res.qbf_verification_conflicts = finder.verification_conflicts();
+      res.solver_stats += finder.solver_stats();
       switch (r.outcome) {
         case OptimumResult::Outcome::kFound:
           finish_with_partition(r.best, r.proven_optimal);
@@ -101,6 +105,7 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
   }
 
   res.sat_calls = rs.sat_calls();
+  res.solver_stats += rs.solver().stats();
   res.cpu_s = timer.elapsed_s();
   return res;
 }

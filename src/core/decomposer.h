@@ -56,6 +56,10 @@ struct DecomposeOptions {
   MgOptions mg;
   OptimumOptions optimum;
   QbfFinderOptions qbf;
+  /// SAT-solver configuration applied to every solver the engines build
+  /// (relaxation / LJH / CEGAR pair): restart mode, LBD tiers,
+  /// inprocessing — see sat::SolverOptions and docs/SOLVER.md.
+  sat::SolverOptions sat;
 };
 
 enum class DecomposeStatus : std::uint8_t {
@@ -81,6 +85,10 @@ struct DecomposeResult {
   int qbf_iterations = 0;
   std::uint64_t qbf_abstraction_conflicts = 0;
   std::uint64_t qbf_verification_conflicts = 0;
+  /// Aggregated low-level SAT statistics of the solvers this call owned
+  /// (relaxation solver + CEGAR pair): conflicts, restarts, tier
+  /// occupancy, inprocessing counters, … (see sat::Solver::Stats).
+  sat::Solver::Stats solver_stats;
 };
 
 /// Facade running one engine on one cone — the per-PO unit of work of the

@@ -35,12 +35,21 @@ struct LjhOptions {
 
 class LjhDecomposer {
  public:
-  explicit LjhDecomposer(const RelaxationMatrix& m, LjhOptions opts = {})
-      : m_(m), opts_(opts) {}
+  explicit LjhDecomposer(const RelaxationMatrix& m, LjhOptions opts = {},
+                         sat::SolverOptions sat_opts = {})
+      : m_(m), opts_(opts), sat_opts_(sat_opts) {}
 
   PartitionSearchResult find_partition(const Deadline* deadline = nullptr);
 
   int sat_calls() const { return sat_calls_; }
+
+  /// Low-level SAT statistics over every solver this decomposer used
+  /// (retired per-query solvers plus the live incremental one).
+  sat::Solver::Stats solver_stats() const {
+    sat::Solver::Stats s = retired_stats_;
+    if (incremental_ != nullptr) s += incremental_->solver().stats();
+    return s;
+  }
 
  private:
   /// One validity check, honouring the encoding mode.
@@ -48,7 +57,9 @@ class LjhDecomposer {
 
   const RelaxationMatrix& m_;  ///< not owned; must outlive the decomposer
   LjhOptions opts_;
+  sat::SolverOptions sat_opts_;
   std::unique_ptr<RelaxationSolver> incremental_;
+  sat::Solver::Stats retired_stats_;  ///< from fresh-per-query solvers
   int sat_calls_ = 0;
 };
 

@@ -264,6 +264,8 @@ QbfFindResult QbfPartitionFinder::find_scratch(QbfModel model, int k,
   const qbf::Qbf2Result r = solver.solve(deadline);
   abs_conflicts_ += solver.abstraction_stats().conflicts;
   ver_conflicts_ += solver.verification_stats().conflicts;
+  scratch_stats_ += solver.abstraction_stats();
+  scratch_stats_ += solver.verification_stats();
   for (const auto& cm : solver.countermodels()) absorb_countermodel(cm);
 
   QbfFindResult result;
@@ -275,6 +277,17 @@ QbfFindResult QbfPartitionFinder::find_scratch(QbfModel model, int k,
     result.refuted_below = k + 1;
   }
   return result;
+}
+
+sat::Solver::Stats QbfPartitionFinder::solver_stats() const {
+  sat::Solver::Stats s = scratch_stats_;
+  for (const auto& slot : inc_) {
+    if (slot != nullptr && slot->solver != nullptr) {
+      s += slot->solver->abstraction_stats();
+      s += slot->solver->verification_stats();
+    }
+  }
+  return s;
 }
 
 QbfFindResult QbfPartitionFinder::find_with_bound(QbfModel model, int k,

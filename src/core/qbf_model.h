@@ -66,7 +66,8 @@ struct QbfFindResult {
 ///  - *incremental* (default): one persistent CEGAR solver pair per model
 ///    carries the matrix CNF, fN, every refinement, all learned clauses
 ///    and heuristic state across every bound query; fT bounds are
-///    activated purely through assumptions on an incremental cardinality counter,
+///    activated purely through assumptions on an incremental cardinality
+///    counter,
 ///    so tightening k never re-encodes anything.
 ///  - *scratch*: the original rebuild-per-query path, kept behind
 ///    `incremental = false` for A/B regression of answers and cost.
@@ -107,6 +108,10 @@ class QbfPartitionFinder {
   int total_iterations() const { return total_iterations_; }
   std::uint64_t abstraction_conflicts() const { return abs_conflicts_; }
   std::uint64_t verification_conflicts() const { return ver_conflicts_; }
+
+  /// Full low-level SAT statistics across every solver this finder built:
+  /// retired scratch pairs plus the live persistent pairs.
+  sat::Solver::Stats solver_stats() const;
 
  private:
   /// A counter enforcing one fT inequality: the bound-k assumption set
@@ -159,6 +164,7 @@ class QbfPartitionFinder {
   int total_iterations_ = 0;
   std::uint64_t abs_conflicts_ = 0;
   std::uint64_t ver_conflicts_ = 0;
+  sat::Solver::Stats scratch_stats_;  ///< accumulated from retired solvers
 };
 
 }  // namespace step::core

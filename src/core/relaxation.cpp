@@ -11,7 +11,8 @@ Cone extract_po_cone(const aig::Aig& circuit, std::uint32_t po,
   Cone cone;
   std::vector<std::uint32_t> used;
   std::vector<aig::Lit> created;
-  cone.root = aig::extract_cone(circuit, circuit.output(po), cone.aig, used, created);
+  cone.root =
+      aig::extract_cone(circuit, circuit.output(po), cone.aig, used, created);
   if (orig_inputs != nullptr) *orig_inputs = used;
   return cone;
 }
@@ -74,7 +75,9 @@ RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op) {
   return m;
 }
 
-RelaxationSolver::RelaxationSolver(const RelaxationMatrix& m) : m_(m) {
+RelaxationSolver::RelaxationSolver(const RelaxationMatrix& m,
+                                   const sat::SolverOptions& sat_opts)
+    : m_(m), solver_(sat_opts) {
   std::vector<sat::Lit> input_sat(m_.aig.num_inputs(), sat::kLitUndef);
   auto mk = [&](const std::vector<std::uint32_t>& idx,
                 std::vector<sat::Var>* save) {

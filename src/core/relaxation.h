@@ -46,7 +46,8 @@ RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op);
 /// engines (LJH growth, MG seeding + group-MUS, metric certification).
 class RelaxationSolver {
  public:
-  explicit RelaxationSolver(const RelaxationMatrix& m);
+  explicit RelaxationSolver(const RelaxationMatrix& m,
+                            const sat::SolverOptions& sat_opts = {});
 
   sat::Solver& solver() { return solver_; }
   const RelaxationMatrix& matrix() const { return m_; }

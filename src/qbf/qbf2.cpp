@@ -47,7 +47,9 @@ ExistsForallSolver::ExistsForallSolver(const aig::Aig& matrix, aig::Lit root,
       root_(root),
       outer_inputs_(std::move(outer_inputs)),
       inner_inputs_(std::move(inner_inputs)),
-      opts_(opts) {
+      opts_(opts),
+      abstraction_(opts.sat),
+      verification_(opts.sat) {
   input_role_.assign(matrix_.num_inputs(), -1);
   for (std::uint32_t i : outer_inputs_) input_role_[i] = 0;
   for (std::uint32_t i : inner_inputs_) input_role_[i] = 1;
@@ -74,7 +76,8 @@ ExistsForallSolver::ExistsForallSolver(const aig::Aig& matrix, aig::Lit root,
   cnf::encode_cone_assert(matrix_, root_, input_sat, sink, /*value=*/false);
 }
 
-void ExistsForallSolver::refine(const std::vector<sat::Lbool>& inner_assignment) {
+void ExistsForallSolver::refine(
+    const std::vector<sat::Lbool>& inner_assignment) {
   STEP_CHECK(inner_assignment.size() == inner_inputs_.size());
   // Fast exit for an inner assignment already refined against: pool
   // seeding and persistent multi-query solving replay countermodels whose
@@ -159,7 +162,8 @@ Qbf2Result ExistsForallSolver::solve(std::span<const sat::Lit> assumptions,
       res.status = Qbf2Status::kUnknown;
       return res;
     }
-    const sat::Result ra = abstraction_.solve_limited(assumptions, -1, deadline);
+    const sat::Result ra =
+      abstraction_.solve_limited(assumptions, -1, deadline);
     if (ra == sat::Result::kUnknown) {
       res.status = Qbf2Status::kUnknown;
       return res;

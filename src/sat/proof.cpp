@@ -1,6 +1,7 @@
 #include "sat/proof.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 
@@ -29,6 +30,117 @@ void resolve(LitVec& cur, const LitVec& other, Var pivot) {
 }
 
 }  // namespace
+
+std::string DratTrace::to_text() const {
+  std::string out;
+  for (const DratLine& line : lines_) {
+    if (line.is_delete) out += "d ";
+    for (Lit l : line.lits) {
+      out += std::to_string(sign(l) ? -(var(l) + 1) : (var(l) + 1));
+      out += ' ';
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal clause database for the forward RUP sweep. Clauses are stored
+/// with sorted literals so deletion lines can be matched set-wise
+/// (the solver reorders watched literals in place).
+struct RupDatabase {
+  std::vector<LitVec> clauses;      ///< live clauses, literals sorted
+  std::vector<Lbool> assign;        ///< per var, scratch assignment
+
+  explicit RupDatabase(int num_vars)
+      : assign(static_cast<std::size_t>(num_vars), Lbool::kUndef) {}
+
+  Lbool value(Lit l) const { return assign[var(l)] ^ sign(l); }
+
+  /// Unit propagation to fixpoint over the whole database (quadratic;
+  /// fine at test scale). Returns true iff a conflict was reached.
+  bool propagate_to_conflict() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const LitVec& c : clauses) {
+        int num_undef = 0;
+        Lit undef_lit = kLitUndef;
+        bool satisfied = false;
+        for (Lit l : c) {
+          const Lbool v = value(l);
+          if (v == Lbool::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == Lbool::kUndef) {
+            ++num_undef;
+            undef_lit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (num_undef == 0) return true;  // falsified clause: conflict
+        if (num_undef == 1) {
+          assign[var(undef_lit)] = mk_lbool(!sign(undef_lit));
+          changed = true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// RUP check of `lits`: assume all its literals false, propagate, demand
+  /// a conflict. The scratch assignment is rebuilt from nothing each time.
+  bool is_rup(const LitVec& lits) {
+    std::fill(assign.begin(), assign.end(), Lbool::kUndef);
+    for (Lit l : lits) {
+      if (value(l) == Lbool::kTrue) return true;  // tautology: trivially ok
+      assign[var(l)] = mk_lbool(sign(l));         // make l false
+    }
+    return propagate_to_conflict();
+  }
+};
+
+}  // namespace
+
+DratCheckResult check_drat(int num_vars, const std::vector<LitVec>& formula,
+                           const DratTrace& trace) {
+  DratCheckResult res;
+  RupDatabase db(num_vars);
+  for (const LitVec& c : formula) {
+    LitVec s(c);
+    normalize(s);
+    db.clauses.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < trace.lines().size(); ++i) {
+    const DratLine& line = trace.lines()[i];
+    LitVec lits(line.lits);
+    normalize(lits);
+    if (line.is_delete) {
+      auto it = std::find(db.clauses.begin(), db.clauses.end(), lits);
+      if (it == db.clauses.end()) {
+        res.error = "line " + std::to_string(i) +
+                    ": deletion of a clause not in the database";
+        return res;
+      }
+      *it = std::move(db.clauses.back());
+      db.clauses.pop_back();
+      continue;
+    }
+    if (!db.is_rup(lits)) {
+      res.error = "line " + std::to_string(i) + ": addition is not RUP";
+      return res;
+    }
+    if (lits.empty()) res.proved_unsat = true;
+    db.clauses.push_back(std::move(lits));
+  }
+  // An explicitly empty database-final check: a trace whose last addition
+  // is the empty clause proves UNSAT; otherwise it is just a valid
+  // derivation log (e.g. a SAT run with inprocessing rewrites).
+  res.ok = true;
+  return res;
+}
 
 LitVec Proof::replay_clause(ProofId id) const {
   // Iterative replay with memoization over the sub-DAG reachable from id.

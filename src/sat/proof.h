@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sat/types.h"
@@ -78,5 +79,68 @@ class Proof {
   std::vector<ProofNode> nodes_;
   ProofId empty_clause_ = kProofIdUndef;
 };
+
+// ---------------------------------------------------------------- DRAT ----
+
+/// One DRAT proof line: a clause addition or a clause deletion.
+struct DratLine {
+  bool is_delete = false;
+  LitVec lits;  ///< empty + !is_delete = the empty clause
+};
+
+/// Clausal (DRAT) proof trace, recorded by the solver when
+/// `SolverOptions::drat_logging` is set.
+///
+/// Unlike the resolution `Proof` (which must keep every learnt clause
+/// alive for interpolation), a DRAT trace is compatible with clause
+/// deletion, so it is the proof format of the modern search path: learnt
+/// clauses, inprocessing rewrites (subsumption, strengthening,
+/// vivification) and every deletion from the tiered database are logged.
+/// The solver performs no blocked-clause addition, so every addition line
+/// is RUP (reverse unit propagation) and `check_drat` below is a complete
+/// checker for the traces this solver emits.
+class DratTrace {
+ public:
+  void add(std::span<const Lit> lits) { push(false, lits); }
+  void del(std::span<const Lit> lits) { push(true, lits); }
+
+  const std::vector<DratLine>& lines() const { return lines_; }
+  std::size_t size() const { return lines_.size(); }
+  bool empty() const { return lines_.empty(); }
+  void clear() { lines_.clear(); }
+
+  /// Renders the trace in the standard textual DRAT format ("d" prefix for
+  /// deletions, DIMACS literals, "0" terminators).
+  std::string to_text() const;
+
+ private:
+  void push(bool is_delete, std::span<const Lit> lits) {
+    DratLine l;
+    l.is_delete = is_delete;
+    l.lits.assign(lits.begin(), lits.end());
+    lines_.push_back(std::move(l));
+  }
+
+  std::vector<DratLine> lines_;
+};
+
+/// Verdict of check_drat().
+struct DratCheckResult {
+  bool ok = false;            ///< every line verified
+  bool proved_unsat = false;  ///< an (implied) empty clause was derived
+  std::string error;          ///< first failure, human-readable
+};
+
+/// Forward RUP checker for a DRAT trace against the original formula.
+///
+/// Maintains the clause database (formula + added - deleted); for every
+/// addition line it asserts the negation of the clause and runs unit
+/// propagation over the database, demanding a conflict; deletion lines
+/// must name a clause currently in the database (this solver's traces are
+/// exact, so the checker is deliberately strict where standard DRAT
+/// checkers skip unknown deletions). O(lines × database) — a test-sized
+/// checker, not a competition one.
+DratCheckResult check_drat(int num_vars, const std::vector<LitVec>& formula,
+                           const DratTrace& trace);
 
 }  // namespace step::sat

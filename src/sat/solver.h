@@ -13,26 +13,98 @@
 
 namespace step::sat {
 
-/// Tuning knobs and feature switches.
+/// Restart policy of the search loop.
+enum class RestartMode : std::uint8_t {
+  kLuby,  ///< Luby sequence scaled by `restart_base` (the classic default)
+  kEma,   ///< adaptive: fast/slow exponential moving averages of learnt LBD
+};
+
+/// Tuning knobs and feature switches. docs/SOLVER.md documents every field
+/// and the trade-offs; the defaults are the modern configuration the
+/// committed BENCH_sat.json A/B validates.
 struct SolverOptions {
   double var_decay = 0.95;
   double clause_decay = 0.999;
-  int restart_base = 100;        ///< Luby restart unit, in conflicts.
   bool phase_saving = true;
   bool minimize_learnt = true;   ///< basic (non-recursive) minimization
-  /// Floor for the learnt-clause budget before reduce_db() fires
+
+  // ---- restarts ----
+  /// Default Luby: the engines' workload is thousands of small
+  /// assumption-driven incremental queries, where Luby measures ~10%
+  /// fewer conflicts than EMA. Switch to kEma for hard single-shot
+  /// instances (the BENCH_sat.json micro section shows it ~30% ahead on
+  /// pigeonhole-style refutations).
+  RestartMode restart_mode = RestartMode::kLuby;
+  int restart_base = 100;        ///< Luby restart unit, in conflicts.
+  /// EMA mode: restart when fast_lbd_ema > restart_margin * slow_lbd_ema.
+  double restart_margin = 1.25;
+  /// EMA mode: minimum conflicts between restarts (also the warm-up before
+  /// the averages are trusted).
+  int restart_min_interval = 50;
+  /// EMA mode: postpone the restart when the trail is this much larger
+  /// than its long-term average — the solver is probably closing in on a
+  /// model ("blocking" restarts, Glucose-style). 0 disables blocking.
+  double restart_block_margin = 1.4;
+  /// Every `rephase_interval` conflicts, reset saved phases to the target
+  /// phase (the assignment of the largest trail seen since the last
+  /// rephase). 0 disables rephasing.
+  int rephase_interval = 10000;
+
+  // ---- learnt-clause database (LBD tiers) ----
+  /// Learnts with LBD <= core_lbd_cut are kept forever.
+  int core_lbd_cut = 3;
+  /// Learnts with LBD in (core, tier2] survive while they keep appearing
+  /// in conflict analysis; untouched ones are demoted to the local tier.
+  int tier2_lbd_cut = 6;
+  /// Conflicts between reduce_db() rounds (the local tier halves on
+  /// activity each round, like the classic scheme).
+  int reduce_interval = 2000;
+  /// Scheduled rounds are skipped while the local tier is smaller than
+  /// this — halving a tiny database just churns useful clauses.
+  int reduce_min_local = 300;
+  /// Floor for the local learnt budget before an extra reduce_db() fires
   /// (the effective limit also scales with the problem size).
   double max_learnts_floor = 4000.0;
+
+  // ---- inter-solve inprocessing ----
+  /// Run bounded inprocessing (satisfied-clause sweep, backward
+  /// subsumption, self-subsuming resolution, clause vivification) between
+  /// incremental solve() calls. Level-0-only and entailment-preserving, so
+  /// it is safe under solve(assumptions). Forced off by proof_logging.
+  bool inprocess = true;
+  /// solve() calls between inprocessing rounds.
+  int inprocess_interval = 2;
+  /// Additionally require this many conflicts since the last round — the
+  /// incremental engines issue thousands of near-trivial solve() calls,
+  /// and a round must never cost more than the search it sped up.
+  std::int64_t inprocess_min_conflicts = 2000;
+  /// Clause-pair budget of one subsumption round.
+  std::int64_t subsume_limit = 100000;
+  /// Propagation budget of one vivification round.
+  std::int64_t vivify_limit = 10000;
+  /// Only clauses up to this many literals are vivified.
+  int vivify_max_size = 16;
+
+  // ---- proofs ----
   /// Record the resolution proof. Implies that learnt clauses are never
-  /// deleted (proof nodes must stay resolvable), so enable only for the
-  /// interpolation queries, which are per-cone and small.
+  /// deleted (proof nodes must stay resolvable) and disables inprocessing,
+  /// so enable only for the interpolation queries, which are per-cone and
+  /// small.
   bool proof_logging = false;
+  /// Record a clausal DRAT trace (additions + deletions) instead;
+  /// compatible with the tiered database and with inprocessing. Check it
+  /// with check_drat() against the original clauses.
+  bool drat_logging = false;
 };
 
-/// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
-/// two-literal watches, first-UIP learning, VSIDS decisions, phase saving,
-/// Luby restarts, incremental solving under assumptions with final-conflict
-/// cores, and optional resolution-proof logging for interpolation.
+/// Conflict-driven clause-learning SAT solver, MiniSat lineage with the
+/// modern hot path: blocking-literal watcher lists plus a dedicated
+/// binary-clause implication list, first-UIP learning with LBD-tiered
+/// learnt retention (core/tier2/local), VSIDS decisions, phase saving with
+/// target-phase rephasing, Luby or EMA-adaptive restarts, bounded
+/// inter-solve inprocessing (subsumption / self-subsuming resolution /
+/// vivification), incremental solving under assumptions with
+/// final-conflict cores, and optional resolution- or DRAT-proof logging.
 ///
 /// Typical use:
 ///   Solver s;
@@ -53,7 +125,8 @@ class Solver {
   /// Returns false iff the solver is already in an unsatisfiable state.
   bool add_clause(std::span<const Lit> lits, int proof_tag = 0);
   bool add_clause(std::initializer_list<Lit> lits, int proof_tag = 0) {
-    return add_clause(std::span<const Lit>(lits.begin(), lits.size()), proof_tag);
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()),
+                      proof_tag);
   }
 
   /// False once unsatisfiability has been established at level 0.
@@ -84,7 +157,10 @@ class Solver {
   /// Resolution proof (only populated with proof_logging = true).
   const Proof& proof() const { return proof_; }
 
-  // ----- heuristics / hints ---------------------------------------------------
+  /// DRAT trace (only populated with drat_logging = true).
+  const DratTrace& drat() const { return drat_; }
+
+  // ----- heuristics / hints ----------------------------------------------
   /// Preferred phase when the variable is picked as a decision.
   void set_polarity_hint(Var v, bool value) { polarity_[v] = value ? 1 : 0; }
 
@@ -97,9 +173,24 @@ class Solver {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
+    std::uint64_t binary_propagations = 0;  ///< subset via the binary list
     std::uint64_t restarts = 0;
+    std::uint64_t blocked_restarts = 0;  ///< EMA restarts postponed on trail
+    std::uint64_t rephases = 0;
     std::uint64_t learnt = 0;
     std::uint64_t db_reductions = 0;
+    // Current tier occupancy of the learnt database.
+    std::uint64_t core_learnts = 0;
+    std::uint64_t tier2_learnts = 0;
+    std::uint64_t local_learnts = 0;
+    // Inprocessing totals.
+    std::uint64_t inprocess_rounds = 0;
+    std::uint64_t subsumed_clauses = 0;
+    std::uint64_t strengthened_clauses = 0;
+    std::uint64_t vivified_clauses = 0;
+    std::uint64_t removed_lits = 0;  ///< via strengthening + vivification
+
+    Stats& operator+=(const Stats& o);
   };
   const Stats& stats() const { return stats_; }
 
@@ -107,6 +198,13 @@ class Solver {
   struct Watcher {
     CRef cref;
     Lit blocker;
+  };
+  /// Binary clauses live in their own implication list: propagating p
+  /// scans {other, cref} pairs meaning "clause (~p ∨ other)". No arena
+  /// access on the hot path; cref backs reasons and proof ids.
+  struct BinWatcher {
+    Lit other;
+    CRef cref;
   };
 
   // Internal machinery.
@@ -121,7 +219,9 @@ class Solver {
   CRef propagate();
   void cancel_until(int lvl);
   Lit pick_branch_lit();
-  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void new_decision_level() {
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+  }
 
   void analyze(CRef confl, LitVec& out_learnt, int& out_btlevel,
                ProofId& out_start, std::vector<ProofStep>& out_steps,
@@ -136,7 +236,29 @@ class Solver {
   void decay_var_activity() { var_inc_ /= opts_.var_decay; }
   void bump_clause(Clause& c);
   void decay_clause_activity() { cla_inc_ /= opts_.clause_decay; }
+
+  // Learnt database (LBD tiers).
+  int compute_lbd(std::span<const Lit> lits);
+  void on_learnt_antecedent(Clause& c);
+  void note_tier(ClauseTier t, int delta);
+  void remove_learnt(CRef cr);
+  void demote_unused_tier2();
   void reduce_db();
+
+  // Restarts / rephasing.
+  void update_search_emas(int lbd);
+  bool ema_restart_due(int conflicts_since_restart);
+  void maybe_update_target_phase();
+  void rephase();
+
+  // Inter-solve inprocessing.
+  void inprocess();
+  void rebuild_watches();
+  bool shrink_clause(CRef cr, const LitVec& new_lits, LitVec& pending_units);
+  void mark_removed(CRef cr, bool learnt_list);
+  std::size_t subsume_round(LitVec& pending_units);
+  std::size_t vivify_round(LitVec& pending_units);
+  bool settle_units(const LitVec& pending_units);
 
   /// Proof id justifying the level-0 assignment of v.
   ProofId level0_justification(Var v) const;
@@ -151,7 +273,8 @@ class Solver {
   ClauseArena arena_;
   std::vector<CRef> clauses_;  ///< problem clauses
   std::vector<CRef> learnts_;
-  std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal
+  std::vector<std::vector<Watcher>> watches_;       ///< indexed by literal
+  std::vector<std::vector<BinWatcher>> bin_watches_;  ///< indexed by literal
 
   // Assignment.
   std::vector<Lbool> assigns_;
@@ -169,22 +292,39 @@ class Solver {
   double cla_inc_ = 1.0;
   VarOrderHeap order_heap_{activity_};
   std::vector<char> polarity_;
+  std::vector<char> target_phase_;
+  std::size_t best_trail_size_ = 0;
 
   // Learning temporaries.
   std::vector<char> seen_;
   std::vector<char> present_;  ///< literals currently in the learnt clause
   std::vector<char> seen2_;    ///< marks for level-0 resolution chains
+  std::vector<int> level_stamp_;  ///< LBD computation scratch, per level
+  int stamp_counter_ = 0;
+
+  // Restart state (EMA mode).
+  double lbd_ema_fast_ = 0.0;
+  double lbd_ema_slow_ = 0.0;
+  double trail_ema_ = 0.0;
+  bool emas_primed_ = false;
+  std::uint64_t restart_hold_until_ = 0;  ///< conflicts stamp for blocking
+  std::uint64_t next_rephase_ = 0;
 
   // Results.
   std::vector<Lbool> model_;
   LitVec conflict_core_;
 
-  // Proof.
+  // Proofs.
   Proof proof_;
+  DratTrace drat_;
   std::vector<ProofId> level0_unit_id_;  ///< per var; for reason-less units
 
   // Learnt DB management.
   double max_learnts_ = 0.0;
+  std::uint64_t next_reduce_ = 0;
+  std::uint64_t solve_calls_ = 0;
+  std::uint64_t last_inprocess_solve_ = 0;
+  std::uint64_t last_inprocess_conflicts_ = 0;
 
   Stats stats_;
 };

@@ -147,6 +147,7 @@ TEST(SatEdge, ProofLoggingWithMinimizationOffStillRefutes) {
 
 TEST(SatEdge, RestartBaseOneStillSolves) {
   SolverOptions o;
+  o.restart_mode = RestartMode::kLuby;
   o.restart_base = 1;  // restart after every conflict
   Solver s(o);
   Var p[4][3];
@@ -200,6 +201,8 @@ TEST(SatEdge, DbReductionFiresAndPreservesCorrectness) {
   // pigeonhole must still be refuted.
   SolverOptions o;
   o.max_learnts_floor = 20.0;
+  o.reduce_interval = 50;  // schedule reductions aggressively
+  o.reduce_min_local = 0;  // …even while the local tier is small
   Solver s(o);
   constexpr int kHoles = 6;
   Var p[kHoles + 1][kHoles];
@@ -262,6 +265,23 @@ TEST(SatEdge, XorChainUnsat) {
   // Chain forces x0 != x1 != ... alternating; closing constraint breaks it.
   add_xor(x[0], x[n - 1], (n - 1) % 2 == 0);
   EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatEdge, DuplicateAssumptionsPushLevelsPastVarCount) {
+  // Every already-satisfied assumption opens a dummy decision level, so a
+  // repeated assumption literal drives the decision level past num_vars;
+  // conflicts analyzed up there must not overrun the LBD level stamps
+  // (regression: heap overflow in compute_lbd, caught under ASan).
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var(),
+            d = s.new_var();
+  s.add_clause({mk_lit(b), mk_lit(c)});
+  s.add_clause({mk_lit(b), ~mk_lit(c)});
+  s.add_clause({~mk_lit(b), mk_lit(d)});
+  s.add_clause({~mk_lit(b), ~mk_lit(d)});  // UNSAT independent of a
+  const LitVec assumps(12, mk_lit(a));     // 11 dummy levels past level 1
+  EXPECT_EQ(s.solve(assumps), Result::kUnsat);
+  EXPECT_TRUE(s.conflict_core().empty());  // refutation needs no assumption
 }
 
 }  // namespace

@@ -6,22 +6,8 @@
 //   step resynth   <circuit.blif> [options]   recursive resynthesis -> BLIF
 //   step stats     <circuit.blif>             circuit statistics
 //
-// Options:
-//   -op or|and|xor        top gate (default or)
-//   -engine ljh|mg|qd|qb|qdb   partition engine (default qd)
-//   -timeout <s>          per-circuit budget (default 60)
-//   -qbf-timeout <s>      per-QBF-call budget (default 1.0)
-//   -scratch              rebuild the QBF solver per bound query (A/B
-//                         reference for the default incremental mode)
-//   --stats               print aggregated solver-cost counters (SAT/QBF
-//                         calls, CEGAR iterations, conflicts) after the table
-//   --recursive           decompose: recurse per PO into a full tree and
-//                         report tree area/depth instead of a single split
-//   --cache-stats         print NPN-decomposition-cache counters after the run
-//   --no-cache            resynth/recursive: disable the decomposition cache
-//   --verify              resynth: SAT-prove every PO tree equivalent
-//   -j <n>                worker threads for decompose/resynth (0 = all cores)
-//   -o <out.blif>         output file for resynth (default stdout)
+// Run `step --help` (or see README.md § Command-line reference) for the
+// complete flag list; the two are kept in sync by tests/cli_reference_test.
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,20 +39,63 @@ struct CliOptions {
   bool cache_stats = false;
   bool use_cache = true;
   bool verify = false;
+  sat::SolverOptions sat;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: step <decompose|resynth|stats> <circuit.blif>\n"
-               "  -op or|and|xor  -engine ljh|mg|qd|qb|qdb\n"
-               "  -timeout <s>  -qbf-timeout <s>  -scratch  --stats\n"
-               "  --recursive  --cache-stats  --no-cache  --verify\n"
-               "  -j <threads>  -o <out.blif>\n");
-  std::exit(2);
+constexpr const char kHelpText[] =
+    "usage: step <command> <circuit.blif> [options]\n"
+    "\n"
+    "commands:\n"
+    "  decompose   per-PO bi-decomposition report (one split per output)\n"
+    "  resynth     recursive resynthesis into a two-input-gate BLIF netlist\n"
+    "  stats       circuit statistics (PO supports, decomposable candidates)\n"
+    "\n"
+    "decomposition options:\n"
+    "  -op <or|and|xor>          top gate of the decomposition (default or)\n"
+    "  -engine <ljh|mg|qd|qb|qdb>  partition engine (default qd)\n"
+    "  -timeout <s>              per-circuit wall budget (default 60)\n"
+    "  -qbf-timeout <s>          per-QBF-call budget (default 1.0)\n"
+    "  -scratch                  rebuild the QBF solver per bound query (A/B\n"
+    "                            reference for the default incremental mode)\n"
+    "  --recursive               decompose: recurse per PO into a full tree\n"
+    "                            and report tree area/depth per PO\n"
+    "  --verify                  resynth/recursive: SAT-prove every PO tree\n"
+    "  --no-cache                resynth/recursive: disable the NPN cache\n"
+    "  -j <n>                    worker threads (0 = one per hardware thread)\n"
+    "  -o <out.blif>             resynth output file (default stdout)\n"
+    "\n"
+    "SAT-solver options (see docs/SOLVER.md):\n"
+    "  -restarts <luby|ema>      restart policy (default luby; ema =\n"
+    "                            adaptive fast/slow LBD conflict averages)\n"
+    "  -lbd-core <n>             learnts with LBD <= n are kept forever\n"
+    "                            (default 3)\n"
+    "  -lbd-tier2 <n>            LBD cut of the mid tier; above it clauses\n"
+    "                            compete on activity (default 6)\n"
+    "  --no-inprocess            disable inter-solve subsumption /\n"
+    "                            strengthening / vivification\n"
+    "  --no-rephase              disable target-phase rephasing\n"
+    "\n"
+    "reporting options:\n"
+    "  --stats                   print aggregated solver-cost counters\n"
+    "                            (SAT/QBF calls, CEGAR iterations, conflicts,\n"
+    "                            restarts, tiers, inprocessing) after the run\n"
+    "  --cache-stats             print NPN-decomposition-cache counters\n"
+    "  --help                    this reference\n";
+
+[[noreturn]] void usage(int exit_code = 2) {
+  std::fputs(kHelpText, exit_code == 0 ? stdout : stderr);
+  std::exit(exit_code);
 }
 
 CliOptions parse_args(int argc, char** argv) {
   CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0 ||
+        std::strcmp(argv[i], "help") == 0) {
+      usage(0);
+    }
+  }
   if (argc < 3) usage();
   cli.command = argv[1];
   cli.input = argv[2];
@@ -107,6 +136,25 @@ CliOptions parse_args(int argc, char** argv) {
       cli.num_threads = std::atoi(value());
     } else if (flag == "-o") {
       cli.output = value();
+    } else if (flag == "-restarts") {
+      const std::string v = value();
+      if (v == "luby") {
+        cli.sat.restart_mode = sat::RestartMode::kLuby;
+      } else if (v == "ema") {
+        cli.sat.restart_mode = sat::RestartMode::kEma;
+      } else {
+        std::fprintf(stderr, "step: -restarts expects luby or ema, got %s\n",
+                     v.c_str());
+        usage();
+      }
+    } else if (flag == "-lbd-core") {
+      cli.sat.core_lbd_cut = std::atoi(value());
+    } else if (flag == "-lbd-tier2") {
+      cli.sat.tier2_lbd_cut = std::atoi(value());
+    } else if (flag == "--no-inprocess" || flag == "-no-inprocess") {
+      cli.sat.inprocess = false;
+    } else if (flag == "--no-rephase" || flag == "-no-rephase") {
+      cli.sat.rephase_interval = 0;
     } else {
       usage();
     }
@@ -140,6 +188,7 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   opts.engine = cli.engine;
   opts.optimum.call_timeout_s = cli.qbf_timeout_s;
   opts.qbf.incremental = cli.incremental;
+  opts.sat = cli.sat;
   core::ParallelDriverOptions par;
   par.num_threads = cli.num_threads;
   const core::CircuitRunResult run =
@@ -178,6 +227,21 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
                     run.total_abstraction_conflicts()),
                 static_cast<unsigned long long>(
                     run.total_verification_conflicts()));
+    const sat::Solver::Stats ss = run.total_solver_stats();
+    auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+    std::printf("# stats: solver conflicts=%llu restarts=%llu (blocked=%llu)"
+                " rephases=%llu reductions=%llu\n",
+                u(ss.conflicts), u(ss.restarts), u(ss.blocked_restarts),
+                u(ss.rephases), u(ss.db_reductions));
+    std::printf("# stats: learnt tiers core=%llu tier2=%llu local=%llu"
+                " (of %llu learnt)\n",
+                u(ss.core_learnts), u(ss.tier2_learnts), u(ss.local_learnts),
+                u(ss.learnt));
+    std::printf("# stats: inprocess rounds=%llu subsumed=%llu"
+                " strengthened=%llu vivified=%llu lits_removed=%llu\n",
+                u(ss.inprocess_rounds), u(ss.subsumed_clauses),
+                u(ss.strengthened_clauses), u(ss.vivified_clauses),
+                u(ss.removed_lits));
   }
   return 0;
 }
@@ -189,6 +253,7 @@ core::SynthesisOptions synthesis_options(const CliOptions& cli,
   opts.pick_best_op = true;
   opts.cache = cache;
   opts.per_node.optimum.call_timeout_s = cli.qbf_timeout_s;
+  opts.per_node.sat = cli.sat;
   return opts;
 }
 
