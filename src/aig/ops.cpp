@@ -101,4 +101,30 @@ Lit cofactor(const Aig& src, Lit root, Aig& dst,
   });
 }
 
+namespace {
+
+Lit build_from_tt_rec(Aig& dst, const std::vector<std::uint64_t>& tt,
+                      const std::vector<Lit>& inputs, std::size_t var,
+                      std::size_t row_base) {
+  if (var == 0) {
+    return ((tt[row_base >> 6] >> (row_base & 63)) & 1ULL) != 0 ? kLitTrue
+                                                                : kLitFalse;
+  }
+  const std::size_t half = std::size_t{1} << (var - 1);
+  const Lit lo = build_from_tt_rec(dst, tt, inputs, var - 1, row_base);
+  const Lit hi = build_from_tt_rec(dst, tt, inputs, var - 1, row_base + half);
+  if (lo == hi) return lo;
+  return dst.lmux(inputs[var - 1], hi, lo);
+}
+
+}  // namespace
+
+Lit build_from_tt(Aig& dst, const std::vector<std::uint64_t>& tt,
+                  const std::vector<Lit>& inputs) {
+  const std::size_t n = inputs.size();
+  STEP_CHECK(n <= 20);
+  STEP_CHECK(tt.size() >= (n >= 6 ? (std::size_t{1} << (n - 6)) : 1));
+  return build_from_tt_rec(dst, tt, inputs, n, 0);
+}
+
 }  // namespace step::aig

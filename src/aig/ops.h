@@ -32,4 +32,12 @@ Lit cofactor(const Aig& src, Lit root, Aig& dst,
              const std::vector<int>& assignment,
              const std::vector<Lit>& free_input_map);
 
+/// Builds the function of a packed truth table (bit r = value on row r,
+/// row bit j = value of inputs[j]) into `dst` by Shannon expansion on the
+/// highest variable; strashing folds shared cofactors. inputs.size() <= 20.
+/// Used by the don't-care windows (care sets are enumerated as tables) and
+/// by tests that need arbitrary functions as AIGs.
+Lit build_from_tt(Aig& dst, const std::vector<std::uint64_t>& tt,
+                  const std::vector<Lit>& inputs);
+
 }  // namespace step::aig

@@ -47,6 +47,11 @@ std::uint64_t simulate_cone(const Aig& a, Lit root,
   return edge_value(val, root);
 }
 
+std::vector<std::uint64_t> simulate_nodes(
+    const Aig& a, const std::vector<std::uint64_t>& input_words) {
+  return sweep(a, input_words);
+}
+
 std::vector<std::uint64_t> truth_table(const Aig& a, Lit root,
                                        const std::vector<std::uint32_t>& support) {
   const std::size_t n = support.size();

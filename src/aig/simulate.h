@@ -16,6 +16,12 @@ std::vector<std::uint64_t> simulate(const Aig& a,
 std::uint64_t simulate_cone(const Aig& a, Lit root,
                             const std::vector<std::uint64_t>& input_words);
 
+/// Whole-network simulation exposing every node's word (indexed by node
+/// id, uncomplemented). Window extraction reads internal cut signals from
+/// this, so one sweep serves many candidate cuts.
+std::vector<std::uint64_t> simulate_nodes(
+    const Aig& a, const std::vector<std::uint64_t>& input_words);
+
 /// Complete truth table of `root` over the given support inputs
 /// (src input indices); support.size() <= 20. Bit b of the table is the
 /// function value when support input j takes bit j of b.

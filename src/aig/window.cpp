@@ -1,0 +1,255 @@
+#include "aig/window.h"
+
+#include <algorithm>
+
+#include "aig/ops.h"
+#include "aig/simulate.h"
+#include "cnf/cnf.h"
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "sat/solver.h"
+
+namespace step::aig {
+
+namespace {
+
+/// Minimum AND-depth of every node below `root`, bounded at `max_depth`
+/// (nodes first reached at the bound are not expanded further).
+std::vector<int> depth_from_root(const Aig& a, Lit root, int max_depth) {
+  std::vector<int> depth(a.num_nodes(), -1);
+  std::vector<std::uint32_t> frontier{node_of(root)};
+  depth[node_of(root)] = 0;
+  for (int d = 0; d < max_depth && !frontier.empty(); ++d) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t n : frontier) {
+      if (!a.is_and(n)) continue;
+      for (const Lit f : {a.fanin0(n), a.fanin1(n)}) {
+        const std::uint32_t c = node_of(f);
+        if (depth[c] < 0) {
+          depth[c] = d + 1;
+          next.push_back(c);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return depth;
+}
+
+struct CutInfo {
+  int level = 0;
+  std::vector<std::uint32_t> nodes;  ///< ascending node ids
+  bool any_internal = false;         ///< at least one AND node in the cut
+};
+
+/// The cut at `level`: DFS from the root expanding AND nodes strictly
+/// above the level; unexpanded reachable nodes form the cut. Returns
+/// nullopt once the cut exceeds `max_width`.
+std::optional<CutInfo> cut_at(const Aig& a, Lit root,
+                              const std::vector<int>& depth, int level,
+                              int max_width) {
+  CutInfo ci;
+  ci.level = level;
+  std::vector<char> visited(a.num_nodes(), 0);
+  std::vector<std::uint32_t> stack{node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = 1;
+    if (a.is_const(n)) continue;  // constants fold into the window copy
+    if (a.is_and(n) && depth[n] >= 0 && depth[n] < level) {
+      stack.push_back(node_of(a.fanin0(n)));
+      stack.push_back(node_of(a.fanin1(n)));
+      continue;
+    }
+    ci.nodes.push_back(n);
+    if (a.is_and(n)) ci.any_internal = true;
+    if (static_cast<int>(ci.nodes.size()) > max_width) return std::nullopt;
+  }
+  std::sort(ci.nodes.begin(), ci.nodes.end());
+  return ci;
+}
+
+/// Copies the logic between the cut and the root into `dst`, reading cut
+/// node n through node_map[n] (everything below the cut is left behind).
+Lit copy_above_cut(const Aig& src, Lit root, Aig& dst,
+                   const std::vector<Lit>& node_map) {
+  std::vector<Lit> memo(node_map);
+  memo[0] = kLitFalse;
+  std::vector<std::uint32_t> stack{node_of(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (memo[n] != kLitInvalid) {
+      stack.pop_back();
+      continue;
+    }
+    STEP_CHECK(src.is_and(n));  // inputs below the cut are always mapped
+    const std::uint32_t c0 = node_of(src.fanin0(n));
+    const std::uint32_t c1 = node_of(src.fanin1(n));
+    bool ready = true;
+    if (memo[c0] == kLitInvalid) {
+      stack.push_back(c0);
+      ready = false;
+    }
+    if (memo[c1] == kLitInvalid) {
+      stack.push_back(c1);
+      ready = false;
+    }
+    if (!ready) continue;
+    const Lit f0 = lit_with_sign(memo[c0], is_complemented(src.fanin0(n)) !=
+                                               is_complemented(memo[c0]));
+    const Lit f1 = lit_with_sign(memo[c1], is_complemented(src.fanin1(n)) !=
+                                               is_complemented(memo[c1]));
+    memo[n] = dst.land(f0, f1);
+    stack.pop_back();
+  }
+  const Lit m = memo[node_of(root)];
+  return is_complemented(root) ? lnot(m) : m;
+}
+
+}  // namespace
+
+std::optional<Window> compute_window(const Aig& circuit, Lit root,
+                                     const WindowOptions& opts,
+                                     const Deadline* deadline) {
+  const std::uint32_t root_node = node_of(root);
+  if (!circuit.is_and(root_node)) return std::nullopt;
+  if (deadline != nullptr && deadline->expired()) return std::nullopt;
+  STEP_CHECK(opts.max_inputs >= 2 && opts.max_inputs <= 16);
+
+  const std::vector<int> depth =
+      depth_from_root(circuit, root, opts.max_depth);
+
+  // Candidate cuts, deepest first; identical node sets are kept once.
+  std::vector<CutInfo> candidates;
+  for (int level = opts.max_depth; level >= std::max(opts.min_depth, 1);
+       --level) {
+    std::optional<CutInfo> ci =
+        cut_at(circuit, root, depth, level, opts.max_inputs);
+    // A cut without internal signals is the cone's own support: every
+    // pattern is producible (the inputs are free), so no SDCs exist.
+    if (!ci || ci->nodes.size() < 2 || !ci->any_internal) continue;
+    if (!candidates.empty() && candidates.back().nodes == ci->nodes) continue;
+    candidates.push_back(std::move(*ci));
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Reachability pre-filter: one whole-circuit bit-parallel sweep per
+  // stimulus batch serves every candidate cut.
+  std::vector<std::vector<std::uint64_t>> reached(candidates.size());
+  std::vector<int> reached_count(candidates.size(), 0);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    reached[c].assign(tt_words(candidates[c].nodes.size()), 0);
+  }
+  Rng rng(opts.sim_seed);
+  std::vector<std::uint64_t> input_words(circuit.num_inputs());
+  for (int w = 0; w < std::max(opts.sim_words, 1); ++w) {
+    for (auto& word : input_words) word = rng.next();
+    const std::vector<std::uint64_t> values =
+        simulate_nodes(circuit, input_words);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const std::vector<std::uint32_t>& cut = candidates[c].nodes;
+      for (int b = 0; b < 64; ++b) {
+        std::size_t pattern = 0;
+        for (std::size_t j = 0; j < cut.size(); ++j) {
+          pattern |= ((values[cut[j]] >> b) & 1ULL) << j;
+        }
+        std::uint64_t& word = reached[c][pattern >> 6];
+        const std::uint64_t bit = 1ULL << (pattern & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++reached_count[c];
+        }
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (deadline != nullptr && deadline->expired()) return std::nullopt;
+    const CutInfo& cut = candidates[c];
+    const int k = static_cast<int>(cut.nodes.size());
+    const std::uint64_t total = 1ULL << k;
+    if (static_cast<std::uint64_t>(reached_count[c]) == total) continue;
+
+    // SAT-complete the care set: every pattern the simulation never
+    // produced is either proven unreachable (an SDC) or reachable (care).
+    // Budget exhaustion keeps the pattern in the care set — sound.
+    sat::Solver solver;
+    std::vector<sat::Lit> pi_sat(circuit.num_inputs());
+    for (auto& l : pi_sat) l = sat::mk_lit(solver.new_var());
+    cnf::SolverSink sink(solver);
+    std::vector<sat::Lit> cut_sat(cut.nodes.size());
+    for (std::size_t j = 0; j < cut.nodes.size(); ++j) {
+      cut_sat[j] =
+          cnf::encode_cone(circuit, mk_lit(cut.nodes[j]), pi_sat, sink);
+    }
+
+    Window win;
+    win.depth = cut.level;
+    win.sim_reached = reached_count[c];
+    std::vector<std::uint64_t> care_tt = reached[c];
+    std::uint64_t sdc = 0;
+    int completions = 0;
+    sat::LitVec assumptions(cut.nodes.size());
+    for (std::uint64_t p = 0; p < total; ++p) {
+      if ((care_tt[p >> 6] >> (p & 63)) & 1ULL) continue;
+      if (completions >= opts.max_sat_completions) {
+        care_tt[p >> 6] |= 1ULL << (p & 63);  // unsettled: keep in care
+        continue;
+      }
+      ++completions;
+      for (std::size_t j = 0; j < cut.nodes.size(); ++j) {
+        assumptions[j] = ((p >> j) & 1ULL) != 0 ? cut_sat[j] : ~cut_sat[j];
+      }
+      // The deadline cuts individual queries short; an unknown verdict
+      // keeps the pattern in care, like budget exhaustion.
+      if (solver.solve_limited(assumptions, -1, deadline) ==
+          sat::Result::kUnsat) {
+        ++sdc;
+      } else {
+        care_tt[p >> 6] |= 1ULL << (p & 63);
+      }
+    }
+    if (sdc == 0) continue;  // fully reachable cut — no don't-cares here
+
+    win.sat_completions = completions;
+    win.sdc_minterms = sdc;
+    win.care_minterms = total - sdc;
+    win.cut.reserve(cut.nodes.size());
+    std::vector<Lit> node_map(circuit.num_nodes(), kLitInvalid);
+    std::vector<Lit> inputs;
+    for (std::size_t j = 0; j < cut.nodes.size(); ++j) {
+      win.cut.push_back(mk_lit(cut.nodes[j]));
+      std::string name = "w";
+      name += std::to_string(j);
+      const Lit in = win.aig.add_input(std::move(name));
+      node_map[cut.nodes[j]] = in;
+      inputs.push_back(in);
+    }
+    win.root = copy_above_cut(circuit, root, win.aig, node_map);
+    win.care = build_from_tt(win.aig, care_tt, inputs);
+    return win;
+  }
+  return std::nullopt;
+}
+
+bool verify_window_replacement(const Aig& circuit, Lit root, const Window& win,
+                               const Aig& repl_aig, Lit repl_root) {
+  sat::Solver solver;
+  std::vector<sat::Lit> pi_sat(circuit.num_inputs());
+  for (auto& l : pi_sat) l = sat::mk_lit(solver.new_var());
+  cnf::SolverSink sink(solver);
+  std::vector<sat::Lit> cut_sat(win.cut.size());
+  for (std::size_t j = 0; j < win.cut.size(); ++j) {
+    cut_sat[j] = cnf::encode_cone(circuit, win.cut[j], pi_sat, sink);
+  }
+  const sat::Lit orig = cnf::encode_cone(circuit, root, pi_sat, sink);
+  const sat::Lit repl = cnf::encode_cone(repl_aig, repl_root, cut_sat, sink);
+  // Assert inequality; UNSAT proves the replacement splices soundly.
+  sink.add_binary(orig, repl);
+  sink.add_binary(~orig, ~repl);
+  return solver.solve() == sat::Result::kUnsat;
+}
+
+}  // namespace step::aig

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.h"
+#include "common/timer.h"
+
+namespace step::aig {
+
+/// Don't-care windows (SDC extraction).
+///
+/// A *window* re-expresses the cone of a root literal as a function of a
+/// bounded structural cut: the window inputs are internal circuit signals
+/// (or primary inputs) at most `max_depth` AND-levels below the root, and
+/// the window function is the logic between the cut and the root. Because
+/// the cut signals are themselves driven by logic, not every combination
+/// of their values is producible from the primary inputs — the missing
+/// combinations are the cone's satisfiability don't-cares (SDCs), and the
+/// decomposition engines only need to be correct on the complementary
+/// *care set*. Exploiting it makes strictly more cones bi-decomposable
+/// (the exact-equivalence constraint is a special case with a full care
+/// set) and partitions strictly cheaper.
+///
+/// The care set is computed exactly: a bit-parallel simulation pre-filter
+/// marks cut patterns observed under random primary-input stimuli, and the
+/// remaining patterns are settled one SAT reachability query each. When
+/// the SAT budget runs out, unsettled patterns are conservatively kept in
+/// the care set — over-approximating care is always sound, it merely
+/// forfeits don't-cares.
+struct WindowOptions {
+  /// Deepest cut explored, in AND levels below the root. Candidate cuts
+  /// are tried deepest-first; deeper cuts see more logic and tend to have
+  /// more SDCs.
+  int max_depth = 6;
+  /// Shallowest cut considered.
+  int min_depth = 2;
+  /// Widest cut accepted. The care set enumerates 2^width patterns, so
+  /// this caps both the care computation and the decomposition support.
+  int max_inputs = 10;
+  /// 64-bit stimulus words per primary input for the reachability
+  /// pre-filter (sim_words * 64 random input vectors).
+  int sim_words = 8;
+  /// SAT reachability queries allowed to settle patterns the simulation
+  /// never produced; beyond the budget they stay in the care set.
+  int max_sat_completions = 512;
+  std::uint64_t sim_seed = 0x5dc0deULL;
+};
+
+/// One computed window. `aig` hosts both the window function and its care
+/// set over the same inputs (input i = value of circuit signal `cut[i]`).
+struct Window {
+  Aig aig;
+  Lit root = kLitFalse;  ///< root as a function of the cut signals
+  Lit care = kLitTrue;   ///< care(cut): producible cut patterns
+  /// Circuit literal backing each window input (positive node literals,
+  /// ascending node id — deterministic).
+  std::vector<Lit> cut;
+  int depth = 0;  ///< cut depth that produced this window
+  std::uint64_t care_minterms = 0;
+  std::uint64_t sdc_minterms = 0;
+  int sim_reached = 0;      ///< patterns the pre-filter produced
+  int sat_completions = 0;  ///< patterns settled by SAT afterwards
+
+  int n() const { return static_cast<int>(aig.num_inputs()); }
+  bool has_sdc() const { return sdc_minterms > 0; }
+  double care_fraction() const {
+    const double total =
+        static_cast<double>(care_minterms) + static_cast<double>(sdc_minterms);
+    return total == 0.0 ? 1.0 : static_cast<double>(care_minterms) / total;
+  }
+};
+
+/// Computes a bounded structural window with a non-empty SDC set for the
+/// cone of `root` in `circuit`. Cuts are explored deepest-first within the
+/// caps; returns nullopt when every candidate cut is SDC-free (e.g. the
+/// cut degenerates to primary inputs) or violates the caps. Deterministic
+/// in (circuit, root, opts). An expired `deadline` aborts the search
+/// (nullopt) and cuts individual reachability queries short — unsettled
+/// patterns stay in the care set, which is sound.
+std::optional<Window> compute_window(const Aig& circuit, Lit root,
+                                     const WindowOptions& opts = {},
+                                     const Deadline* deadline = nullptr);
+
+/// SAT miter over the primary inputs: true iff `repl_root` (a function of
+/// the window's cut signals, hosted in `repl_aig` with the window's input
+/// layout) composed with the cut logic equals the original root everywhere
+/// — the splice-safety check for window-based resynthesis. Any repl that
+/// matches the window function on the care set passes, because off-care
+/// cut patterns never occur.
+bool verify_window_replacement(const Aig& circuit, Lit root, const Window& win,
+                               const Aig& repl_aig, Lit repl_root);
+
+}  // namespace step::aig

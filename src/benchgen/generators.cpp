@@ -357,6 +357,28 @@ Aig majority(int n) {
   return a;
 }
 
+Aig implied_majority(int groups) {
+  STEP_CHECK(groups >= 1);
+  Aig a;
+  const std::vector<Lit> x = add_inputs(a, "x", 3 * groups);
+  std::vector<Lit> pos;
+  for (int g = 0; g < groups; ++g) {
+    const Lit x1 = x[3 * g], x2 = x[3 * g + 1], x3 = x[3 * g + 2];
+    // Implied internal signals: g1 ⇒ g3, g2 ⇒ g3.
+    const Lit g1 = a.land(x1, x2);
+    const Lit g3 = a.lor(x1, x2);
+    const Lit g2 = a.land(x3, g3);
+    // MAJ(g1, g2, g3), kept structural so a depth-bounded cut lands on
+    // the implied signals (or on x1, x2, x3 plus the shared OR node —
+    // both cuts have SDCs).
+    const Lit maj = a.lor(a.land(g1, g2), a.land(g3, a.lor(g1, g2)));
+    pos.push_back(maj);
+    a.add_output(maj, "maj" + std::to_string(g));
+  }
+  a.add_output(a.lxor_many(pos), "chk");
+  return a;
+}
+
 Aig hamming_ge(int n, int t) {
   Aig a;
   const std::vector<Lit> x = add_inputs(a, "a", n);

@@ -73,6 +73,17 @@ aig::Aig gray_next(int n);
 /// Majority-of-n (n odd): single output.
 aig::Aig majority(int n);
 
+/// Don't-care showcase: `groups` blocks of 3 primary inputs, each block's
+/// PO computing MAJ(g1, g2, g3) over *implied* internal signals
+/// (g1 = x1∧x2, g2 = x3∧(x1∨x2), g3 = x1∨x2, so g1 ⇒ g3 and g2 ⇒ g3).
+/// As a function of its primary inputs each PO is MAJ(x1, x2, x3) —
+/// bi-decomposable under no gate — but the implications make 3 of the 8
+/// cut patterns unreachable, and on that care set the cone splits as
+/// g1 OR g2. Exact engines report 0/`groups` decomposed; the SDC-window
+/// mode decomposes every PO. One extra parity PO ties the blocks together
+/// so multi-PO drivers see a mixed circuit.
+aig::Aig implied_majority(int groups);
+
 /// Hamming-distance threshold: dist(a[n], b[n]) >= t.
 aig::Aig hamming_ge(int n, int t);
 

@@ -19,6 +19,9 @@ std::vector<BenchCircuit> tiny_suite() {
   s.push_back({"tcnt", "b07", counter_next(5)});
   s.push_back({"tsop", "sbc", random_sop(3, 3, 2, 6, 4, 0x5bc)});
   s.push_back({"tmux", "pair", mux_tree(2)});
+  // Don't-care showcase: exact engines decompose none of its MAJ POs,
+  // the SDC-window mode decomposes all of them (see implied_majority).
+  s.push_back({"tdcw", "dc-window", implied_majority(2)});
   return s;
 }
 
@@ -65,6 +68,7 @@ std::vector<BenchCircuit> small_suite() {
                random_sop(6, 6, 3, 16, 6, 0xa9e7)});
   s.push_back({"xterm1", "term1",
                merge({random_sop(5, 5, 2, 10, 5, 0x7e41), mux_tree(3)})});
+  s.push_back({"xdcw", "dc-window", implied_majority(5)});
   return s;
 }
 
@@ -101,6 +105,7 @@ std::vector<BenchCircuit> full_suite() {
   s.push_back({"xapex", "apex7", random_sop(8, 8, 4, 20, 8, 0xa9e7)});
   s.push_back({"xterm1", "term1",
                merge({random_sop(7, 7, 3, 14, 6, 0x7e41), mux_tree(4)})});
+  s.push_back({"xdcw", "dc-window", implied_majority(8)});
   return s;
 }
 

@@ -33,11 +33,26 @@ class Deadline {
  public:
   explicit Deadline(double budget_s = 0.0) : budget_s_(budget_s) {}
 
-  bool enabled() const { return budget_s_ > 0.0; }
-  bool expired() const { return enabled() && timer_.elapsed_s() >= budget_s_; }
+  bool enabled() const { return budget_s_ > 0.0 || polls_left_ >= 0; }
+  bool expired() const {
+    if (polls_left_ >= 0) {
+      if (polls_left_ == 0) return true;
+      --polls_left_;
+      return false;
+    }
+    return enabled() && timer_.elapsed_s() >= budget_s_;
+  }
+
+  /// Test seam: report expiry after exactly `polls` more expired() calls,
+  /// independent of wall time. Deadline consumers poll at deterministic
+  /// points (loop heads, solver conflict checks), so tests can force an
+  /// expiry at any reproducible moment mid-search — which wall-clock
+  /// budgets cannot do. Never used outside tests.
+  void force_expire_after_polls(int polls) { polls_left_ = polls; }
 
   /// Seconds remaining; +infinity-ish large value when disabled.
   double remaining_s() const {
+    if (polls_left_ >= 0) return polls_left_ == 0 ? 0.0 : 1e30;
     if (!enabled()) return 1e30;
     double r = budget_s_ - timer_.elapsed_s();
     return r > 0.0 ? r : 0.0;
@@ -46,6 +61,7 @@ class Deadline {
  private:
   double budget_s_;
   Timer timer_;
+  mutable int polls_left_ = -1;
 };
 
 }  // namespace step

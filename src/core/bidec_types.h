@@ -101,6 +101,11 @@ struct PartitionSearchResult {
   /// True when the search exhausted the seed space, which proves
   /// non-decomposability whenever found == false.
   bool exhausted = false;
+  /// True when the deadline cut the search short: a validity check came
+  /// back unknown or the wall budget expired. Mutually exclusive with
+  /// `exhausted` — a timed-out search proves nothing. Any partition still
+  /// reported alongside was validated *before* the timeout.
+  bool timed_out = false;
   int sat_calls = 0;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "aig/ops.h"
 #include "aig/support.h"
+#include "aig/window.h"
 #include "common/thread_pool.h"
 
 namespace step::core {
@@ -26,6 +28,30 @@ int CircuitRunResult::max_support() const {
   int m = 0;
   for (const PoOutcome& p : pos) m = std::max(m, p.support);
   return m;
+}
+
+int CircuitRunResult::num_windows_built() const {
+  return static_cast<int>(
+      std::count_if(pos.begin(), pos.end(),
+                    [](const PoOutcome& p) { return p.window_built; }));
+}
+
+int CircuitRunResult::num_window_decomposed() const {
+  return static_cast<int>(
+      std::count_if(pos.begin(), pos.end(),
+                    [](const PoOutcome& p) { return p.used_window; }));
+}
+
+std::uint64_t CircuitRunResult::total_window_sdc_minterms() const {
+  std::uint64_t s = 0;
+  for (const PoOutcome& p : pos) s += p.window_sdc_minterms;
+  return s;
+}
+
+long CircuitRunResult::total_window_sat_completions() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.window_sat_completions;
+  return s;
 }
 
 long CircuitRunResult::total_sat_calls() const {
@@ -97,6 +123,15 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
   result.pos.resize(jobs.size());
   std::atomic<bool> hit_budget{false};
 
+  auto absorb_costs = [](PoOutcome& outcome, const DecomposeResult& r) {
+    outcome.sat_calls += r.sat_calls;
+    outcome.qbf_calls += r.qbf_calls;
+    outcome.qbf_iterations += r.qbf_iterations;
+    outcome.qbf_abstraction_conflicts += r.qbf_abstraction_conflicts;
+    outcome.qbf_verification_conflicts += r.qbf_verification_conflicts;
+    outcome.solver_stats += r.solver_stats;
+  };
+
   auto run_one = [&](std::size_t j) {
     const PoJob& job = jobs[j];
     PoOutcome& outcome = result.pos[j];
@@ -112,22 +147,60 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     // Respect both the per-PO budget and the remaining circuit budget.
     // Each call owns its private cone and Solver/CEGAR contexts, so
     // workers share nothing but the read-only circuit and the deadline.
+    Timer po_timer;
     DecomposeOptions po_opts = opts;
     po_opts.po_budget_s =
         std::min(opts.po_budget_s, circuit_deadline.remaining_s());
 
-    const Cone cone = extract_po_cone(circuit, job.po);
-    const DecomposeResult r = BiDecomposer(po_opts).decompose(cone);
-    outcome.status = r.status;
-    outcome.metrics = r.metrics;
-    outcome.proven_optimal = r.proven_optimal;
-    outcome.cpu_s = r.cpu_s;
-    outcome.sat_calls = r.sat_calls;
-    outcome.qbf_calls = r.qbf_calls;
-    outcome.qbf_iterations = r.qbf_iterations;
-    outcome.qbf_abstraction_conflicts = r.qbf_abstraction_conflicts;
-    outcome.qbf_verification_conflicts = r.qbf_verification_conflicts;
-    outcome.solver_stats = r.solver_stats;
+    // DC mode: decompose the windowed function on its care set first; any
+    // failure falls back to the exact cone, so the DC path is monotone in
+    // the number of decomposed POs.
+    bool done = false;
+    if (opts.use_dont_cares) {
+      if (std::optional<aig::Window> win =
+              aig::compute_window(circuit, circuit.output(job.po), opts.window,
+                                  &circuit_deadline)) {
+        outcome.window_built = true;
+        outcome.window_inputs = win->n();
+        outcome.window_sdc_minterms = win->sdc_minterms;
+        outcome.care_fraction = win->care_fraction();
+        outcome.window_sat_completions = win->sat_completions;
+
+        const CareSet care = care_of_window(*win);
+        const Cone wcone{win->aig, win->root};
+        const DecomposeResult r = BiDecomposer(po_opts).decompose(wcone, &care);
+        absorb_costs(outcome, r);
+        if (r.status == DecomposeStatus::kDecomposed) {
+          // Verify the resynthesized node against the window before it
+          // counts: composed with the cut logic it must equal the
+          // original root on every producible input.
+          const bool spliceable =
+              !r.functions.has_value() ||
+              aig::verify_window_replacement(circuit, circuit.output(job.po),
+                                             *win, r.functions->aig,
+                                             r.functions->combined);
+          if (spliceable) {
+            outcome.status = r.status;
+            outcome.metrics = r.metrics;
+            outcome.proven_optimal = r.proven_optimal;
+            outcome.used_window = true;
+            done = true;
+          }
+        }
+      }
+    }
+
+    if (!done) {
+      const Cone cone = extract_po_cone(circuit, job.po);
+      po_opts.po_budget_s =
+          std::min(opts.po_budget_s, circuit_deadline.remaining_s());
+      const DecomposeResult r = BiDecomposer(po_opts).decompose(cone);
+      outcome.status = r.status;
+      outcome.metrics = r.metrics;
+      outcome.proven_optimal = r.proven_optimal;
+      absorb_costs(outcome, r);
+    }
+    outcome.cpu_s = po_timer.elapsed_s();
   };
 
   const int threads =
@@ -143,7 +216,12 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     pool.wait_idle();
   }
 
-  result.hit_circuit_budget = hit_budget.load(std::memory_order_relaxed);
+  // The per-job flag only catches expiry observed *before* a job starts;
+  // when the budget dies while the last worker is mid-cone, no later job
+  // exists to notice. Aggregate from the shared budget state as well so
+  // hit_circuit_budget is faithful (and identical across thread counts).
+  result.hit_circuit_budget =
+      hit_budget.load(std::memory_order_relaxed) || circuit_deadline.expired();
   result.total_cpu_s = total.elapsed_s();
   return result;
 }
@@ -168,6 +246,9 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
   result.trees.resize(n_pos);
   std::vector<SynthesisStats> job_stats(n_pos);
   std::vector<std::vector<std::uint32_t>> job_inputs(n_pos);
+  // Windowed POs (DC mode): the tree rewrites the *window* function and
+  // is spliced over the verbatim cut logic at assembly time.
+  std::vector<std::unique_ptr<aig::Window>> job_windows(n_pos);
 
   // Tree construction fans out; workers share only the read-only circuit,
   // the deadline, and the (thread-safe) cache. Expiry degrades quality —
@@ -180,10 +261,70 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
     out.support = cone.n();
     out.depth_before = cone_depth(circuit, circuit.output(po));
     job_stats[po].pos_processed = 1;
-    result.trees[po] =
-        decompose_to_tree(cone, opts, &job_stats[po], &circuit_deadline);
+
+    // DC mode: rewrite the windowed function on its care set; the result
+    // is SAT-verified against the window — composed with the cut logic it
+    // must equal the original PO everywhere — *before* it may be spliced,
+    // and it must beat the exact whole-cone rewrite on estimated area
+    // (window tree plus the verbatim cut logic the splice keeps alive).
+    // Any failure falls back to the exact rewrite.
+    std::shared_ptr<const DecTree> windowed_tree;
+    std::unique_ptr<aig::Window> window;
+    SynthesisStats wstats;
+    if (opts.use_dont_cares) {
+      if (std::optional<aig::Window> win =
+              aig::compute_window(circuit, circuit.output(po),
+                                  opts.per_node.window, &circuit_deadline)) {
+        const CareSet care = care_of_window(*win);
+        const Cone wcone{win->aig, win->root};
+        wstats.pos_processed = 1;
+        auto tree =
+            decompose_to_tree(wcone, opts, &wstats, &circuit_deadline, &care);
+        aig::Aig repl;
+        std::vector<aig::Lit> rin;
+        for (int i = 0; i < wcone.n(); ++i) rin.push_back(repl.add_input());
+        const aig::Lit rroot = emit_tree(*tree, repl, rin);
+        if (aig::verify_window_replacement(circuit, circuit.output(po), *win,
+                                           repl, rroot)) {
+          windowed_tree = std::move(tree);
+          window = std::make_unique<aig::Window>(std::move(*win));
+        }
+      }
+    }
+    SynthesisStats estats;
+    estats.pos_processed = 1;
+    auto exact_tree = decompose_to_tree(cone, opts, &estats, &circuit_deadline);
+    bool use_window = false;
+    if (windowed_tree != nullptr) {
+      // AND gates the splice keeps alive below the cut — an upper bound:
+      // strashing against the other POs' logic can only shrink it.
+      std::uint32_t cut_ands = 0;
+      std::vector<char> seen(circuit.num_nodes(), 0);
+      std::vector<std::uint32_t> stack;
+      for (const aig::Lit l : window->cut) stack.push_back(aig::node_of(l));
+      while (!stack.empty()) {
+        const std::uint32_t node = stack.back();
+        stack.pop_back();
+        if (seen[node] || !circuit.is_and(node)) continue;
+        seen[node] = 1;
+        ++cut_ands;
+        stack.push_back(aig::node_of(circuit.fanin0(node)));
+        stack.push_back(aig::node_of(circuit.fanin1(node)));
+      }
+      use_window = windowed_tree->stats().area() + cut_ands <
+                   exact_tree->stats().area();
+    }
+    if (use_window) {
+      job_stats[po] = wstats;
+      result.trees[po] = std::move(windowed_tree);
+      out.verified = verify;  // proven by the splice check above
+      job_windows[po] = std::move(window);
+    } else {
+      job_stats[po] = estats;
+      result.trees[po] = std::move(exact_tree);
+      if (verify) out.verified = tree_equivalent(cone, *result.trees[po]);
+    }
     out.tree = result.trees[po]->stats();
-    if (verify) out.verified = tree_equivalent(cone, *result.trees[po]);
     out.cpu_s = po_timer.elapsed_s();
   };
 
@@ -208,11 +349,23 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
   }
   result.all_verified = verify;
   for (std::uint32_t po = 0; po < n_pos; ++po) {
-    std::vector<aig::Lit> dst_inputs(job_inputs[po].size());
-    for (std::size_t i = 0; i < job_inputs[po].size(); ++i) {
-      dst_inputs[i] = pi_map[job_inputs[po][i]];
+    aig::Lit out;
+    if (job_windows[po] != nullptr) {
+      // Windowed splice: the verbatim cut logic is copied (strashing
+      // shares it across POs) and the rewritten window reads it.
+      const aig::Window& win = *job_windows[po];
+      std::vector<aig::Lit> cut_map(win.cut.size());
+      for (std::size_t i = 0; i < win.cut.size(); ++i) {
+        cut_map[i] = aig::copy_cone(circuit, win.cut[i], dst, pi_map);
+      }
+      out = emit_tree(*result.trees[po], dst, cut_map);
+    } else {
+      std::vector<aig::Lit> dst_inputs(job_inputs[po].size());
+      for (std::size_t i = 0; i < job_inputs[po].size(); ++i) {
+        dst_inputs[i] = pi_map[job_inputs[po][i]];
+      }
+      out = emit_tree(*result.trees[po], dst, dst_inputs);
     }
-    const aig::Lit out = emit_tree(*result.trees[po], dst, dst_inputs);
     dst.add_output(out, circuit.output_name(po));
     result.stats += job_stats[po];
     result.stats.depth_before =

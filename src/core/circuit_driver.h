@@ -24,6 +24,13 @@ struct PoOutcome {
   std::uint64_t qbf_abstraction_conflicts = 0;
   std::uint64_t qbf_verification_conflicts = 0;
   sat::Solver::Stats solver_stats;  ///< low-level SAT counters, all solvers
+  // Don't-care accounting (populated in DC mode only).
+  bool window_built = false;  ///< an SDC window existed for this PO
+  bool used_window = false;   ///< decomposed on the window's care set
+  int window_inputs = 0;      ///< cut width of the window (when built)
+  std::uint64_t window_sdc_minterms = 0;
+  double care_fraction = 1.0;
+  int window_sat_completions = 0;
 };
 
 /// One engine applied to every decomposable-candidate PO of a circuit —
@@ -39,6 +46,13 @@ struct CircuitRunResult {
   int num_decomposed() const;
   int num_proven_optimal() const;
   int max_support() const;  ///< the paper's #InM
+
+  /// Don't-care aggregates (all zero outside DC mode; derived from `pos`,
+  /// so parallel runs report exactly the sequential numbers).
+  int num_windows_built() const;
+  int num_window_decomposed() const;
+  std::uint64_t total_window_sdc_minterms() const;
+  long total_window_sat_completions() const;
 
   /// Circuit-wide solver-cost aggregates (sums over `pos`).
   long total_sat_calls() const;
@@ -67,6 +81,12 @@ struct ParallelDriverOptions {
 /// the paper's per-circuit timeout (6000 s there; scaled down here) and is
 /// a cooperative wall-clock budget shared by all workers: once it expires,
 /// remaining POs are reported as kUnknown.
+///
+/// With `opts.use_dont_cares`, each PO first gets an SDC window
+/// (aig/window.h): the windowed function is decomposed on its care set and
+/// the result is SAT-verified against the window's circuit context before
+/// it counts; on any failure the exact cone is decomposed as before, so DC
+/// mode decomposes at least as many POs as exact mode (budgets permitting).
 CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                              const DecomposeOptions& opts,
                              double circuit_budget_s,
@@ -129,6 +149,14 @@ struct CircuitResynthResult {
 /// it expires, remaining sub-cones are emitted as verbatim leaves, so the
 /// output netlist is always complete and equivalent. When `verify` is
 /// set every PO tree is SAT-proven equivalent to its original cone.
+///
+/// With `opts.use_dont_cares`, a PO with an SDC window is rewritten as a
+/// tree of the *window* function on its care set, SAT-verified against
+/// the window (composed with the cut logic it must equal the original PO
+/// on every producible input) before being spliced over the verbatim cut
+/// logic; the recursion additionally propagates sibling-ODC care sets at
+/// every split. Failures fall back to the exact whole-cone rewrite, so
+/// the output netlist is always fully equivalent.
 CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
                                          const std::string& name,
                                          const SynthesisOptions& opts,

@@ -22,6 +22,14 @@ struct DecCacheOptions {
   /// end in a refutation).
   int signature_words = 4;
   std::uint64_t signature_seed = 0x57e9dec0ULL;
+  /// Input correspondences enumerated per signature-bucket candidate:
+  /// inputs with equal signatures form tie classes (often genuinely
+  /// symmetric), and class-consistent bijections are screened with a
+  /// bit-parallel simulation check, cheap enough to afford thousands.
+  int max_match_attempts = 4096;
+  /// Of the simulation-consistent correspondences, at most this many are
+  /// SAT-checked before the candidate is abandoned as a miss.
+  int max_confirm_attempts = 8;
 };
 
 struct DecCacheStats {
@@ -42,7 +50,9 @@ struct DecCacheStats {
 /// A cache hit: `tree` decomposes a function NPN-equivalent to the query;
 /// `map` rewires it (tree support position i reads query support position
 /// map.var[i], complemented per map.neg, output complemented per
-/// map.output_neg). Semantic hits always carry the identity map.
+/// map.output_neg). Semantic (wide-cone) hits carry a pure permutation
+/// map: the SAT-confirmed input correspondence between the stored cone
+/// and the query.
 struct DecCacheHit {
   std::shared_ptr<const DecTree> tree;
   NpnVarMap map;
@@ -56,13 +66,20 @@ struct DecCacheKey {
   TruthTable canon_tt;
   NpnTransform canon_to_fn;
   std::uint64_t signature = 0;
+  /// Wide cones: permutation-invariant per-input signatures backing both
+  /// the fold above and the candidate input correspondence at lookup.
+  std::vector<std::uint64_t> input_sigs;
 };
 
 /// Thread-safe memo of decomposition trees, shared across the POs (and
 /// worker threads) of a circuit run so identical or NPN-equivalent cones
 /// are decomposed once. Small cones are keyed exactly by NPN-canonical
-/// truth table; wide cones by a simulation signature whose collisions are
-/// confirmed with one SAT equivalence check before the tree is reused.
+/// truth table; wide cones by a permutation-invariant simulation
+/// signature — cones that differ only by an input permutation share a
+/// bucket, a rank-ordering of the per-input signatures proposes the
+/// correspondence, and one SAT equivalence check under that mapping
+/// confirms the hit before the tree is reused (rewired through the
+/// permutation).
 class DecCache {
  public:
   explicit DecCache(DecCacheOptions opts = {});
@@ -104,9 +121,15 @@ class DecCache {
   struct SigEntry {
     std::shared_ptr<const Cone> cone;
     std::shared_ptr<const DecTree> tree;
+    std::vector<std::uint64_t> input_sigs;
   };
 
-  std::uint64_t signature_of(const Cone& cone) const;
+  /// Permutation-invariant semantic signature per input (two refinement
+  /// rounds of symmetric stimuli); the cone key folds the *sorted* list,
+  /// so cones differing only by an input permutation share a bucket.
+  std::vector<std::uint64_t> input_signatures(const Cone& cone) const;
+  std::uint64_t signature_of(const Cone& cone,
+                             const std::vector<std::uint64_t>& sigs) const;
 
   DecCacheOptions opts_;
   mutable std::mutex mu_;

@@ -4,21 +4,42 @@
 
 namespace step::core {
 
-DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
+DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
+                                        const CareSet* care) const {
   Timer timer;
   Deadline deadline(opts_.po_budget_s);
   DecomposeResult res;
+  if (care_is_trivial(care)) care = nullptr;
 
+  // Support reduction must carry the care set along: a dropped input may
+  // still appear in the care function, so it is existentially projected
+  // away (any extension being care keeps the minterm constrained). When
+  // the projection is over budget, reduction is skipped — sound either way.
   Cone reduced;
-  if (opts_.reduce_support) reduced = reduce_cone(cone_in);
-  const Cone& cone = opts_.reduce_support ? reduced : cone_in;
+  std::optional<CareSet> reduced_care;
+  bool use_reduced = false;
+  if (opts_.reduce_support) {
+    std::vector<std::uint32_t> kept;
+    reduced = reduce_cone(cone_in, &kept);
+    if (care == nullptr) {
+      use_reduced = true;
+    } else if (kept.size() == cone_in.aig.num_inputs()) {
+      use_reduced = true;
+      reduced_care = *care;
+    } else if (auto proj = care_project(*care, kept, /*max_quantified=*/8)) {
+      use_reduced = true;
+      reduced_care = std::move(*proj);
+    }
+  }
+  const Cone& cone = use_reduced ? reduced : cone_in;
+  if (reduced_care) care = &*reduced_care;
   if (cone.n() < 2) {
     res.status = DecomposeStatus::kNotDecomposable;
     res.cpu_s = timer.elapsed_s();
     return res;
   }
 
-  const RelaxationMatrix matrix = build_relaxation_matrix(cone, opts_.op);
+  const RelaxationMatrix matrix = build_relaxation_matrix(cone, opts_.op, care);
   RelaxationSolver rs(matrix, opts_.sat);
 
   auto finish_with_partition = [&](Partition p, bool proven) {
@@ -27,9 +48,9 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
     res.proven_optimal = proven;
     res.partition = std::move(p);
     if (opts_.extract) {
-      res.functions = extract_functions(cone, opts_.op, res.partition);
+      res.functions = extract_functions(cone, opts_.op, res.partition, care);
       if (opts_.verify) {
-        res.verified = verify_decomposition(cone, *res.functions);
+        res.verified = verify_decomposition(cone, *res.functions, care);
         STEP_CHECK(res.verified);
       }
     }
@@ -112,12 +133,15 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in) const {
 
 DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
                                          const Partition& partition,
-                                         bool extract, bool verify) {
+                                         bool extract, bool verify,
+                                         const CareSet* care) {
   Timer timer;
   DecomposeResult res;
   STEP_CHECK(partition.size() == cone.n());
+  if (care_is_trivial(care)) care = nullptr;
 
-  if (!partition.non_trivial() || !check_partition(cone, op, partition)) {
+  if (!partition.non_trivial() ||
+      !check_partition(cone, op, partition, care)) {
     res.status = DecomposeStatus::kNotDecomposable;
     res.cpu_s = timer.elapsed_s();
     return res;
@@ -127,9 +151,9 @@ DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
   res.metrics = Metrics::of(partition);
   res.sat_calls = 1;
   if (extract) {
-    res.functions = extract_functions(cone, op, partition);
+    res.functions = extract_functions(cone, op, partition, care);
     if (verify) {
-      res.verified = verify_decomposition(cone, *res.functions);
+      res.verified = verify_decomposition(cone, *res.functions, care);
       STEP_CHECK(res.verified);
     }
   }

@@ -60,6 +60,16 @@ struct DecomposeOptions {
   /// (relaxation / LJH / CEGAR pair): restart mode, LBD tiers,
   /// inprocessing — see sat::SolverOptions and docs/SOLVER.md.
   sat::SolverOptions sat;
+  /// Don't-care-aware mode: the circuit drivers compute an SDC window per
+  /// cone (aig/window.h) and decompose the windowed function on its care
+  /// set, falling back to the exact cone when no window with don't-cares
+  /// exists or the windowed attempt fails — so DC mode never decomposes
+  /// fewer cones than exact mode. Cone-level callers pass a care set to
+  /// decompose() directly; this flag plus the caps below steer the
+  /// drivers.
+  bool use_dont_cares = false;
+  /// Window caps (cut depth/width, simulation words, SAT completions).
+  aig::WindowOptions window;
 };
 
 enum class DecomposeStatus : std::uint8_t {
@@ -99,7 +109,11 @@ class BiDecomposer {
 
   const DecomposeOptions& options() const { return opts_; }
 
-  DecomposeResult decompose(const Cone& cone) const;
+  /// Decomposes one cone. A non-trivial `care` relaxes every validity
+  /// check, the extraction, and the verification to the care minterms
+  /// (OR/AND; XOR partitions stay exact — see build_relaxation_matrix).
+  DecomposeResult decompose(const Cone& cone,
+                            const CareSet* care = nullptr) const;
 
  private:
   DecomposeOptions opts_;
@@ -109,9 +123,12 @@ class BiDecomposer {
 /// ([16] assumes the partition is given; the paper automates finding it).
 /// Validates the partition with one SAT call, then extracts and verifies.
 /// Status is kNotDecomposable when the partition is trivial or invalid.
+/// With a care set, validity/extraction/verification all run against the
+/// care window instead of demanding exact cone equivalence.
 DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
                                          const Partition& partition,
                                          bool extract = true,
-                                         bool verify = true);
+                                         bool verify = true,
+                                         const CareSet* care = nullptr);
 
 }  // namespace step::core

@@ -39,12 +39,20 @@ struct ItpQuery {
 };
 
 /// OR extraction of `root` (within cone.aig) under partition p, writing
-/// fa and fb into `dst` whose inputs are already created.
-std::pair<aig::Lit, aig::Lit> or_extract(const Cone& cone, aig::Lit root,
-                                         const Partition& p, aig::Aig& dst,
-                                         const std::vector<aig::Lit>& dst_inputs) {
+/// fa and fb into `dst` whose inputs are already created. With a
+/// non-trivial care set (the partition is only valid on the care
+/// minterms), every cone copy is additionally constrained to the care set
+/// — the queries stay refutable and the interpolants implement f on care.
+std::pair<aig::Lit, aig::Lit> or_extract(
+    const Cone& cone, aig::Lit root, const Partition& p, aig::Aig& dst,
+    const std::vector<aig::Lit>& dst_inputs, const CareSet* care) {
   const int n = cone.n();
+  if (care_is_trivial(care)) care = nullptr;
   auto in_class = [&](int i, VarClass c) { return p.cls[i] == c; };
+  auto assert_care = [&](ItpQuery& q, const std::vector<sat::Lit>& map,
+                         int tag) {
+    if (care != nullptr) q.assert_cone(care->aig, care->root, map, true, tag);
+  };
 
   // ---- Query 1: fA over XA ∪ XC ------------------------------------------
   aig::Lit fa;
@@ -56,12 +64,16 @@ std::pair<aig::Lit, aig::Lit> or_extract(const Cone& cone, aig::Lit root,
       if (in_class(i, VarClass::kA)) map2[i] = sat::mk_lit(q.solver->new_var());
       if (in_class(i, VarClass::kB)) map3[i] = sat::mk_lit(q.solver->new_var());
     }
-    // A-part: f(X) ∧ ¬f(XA', XB, XC);  B-part: ¬f(XA, XB', XC).
+    // A-part: care(X) ∧ f(X) ∧ care(X') ∧ ¬f(XA', XB, XC);
+    // B-part: care(X'') ∧ ¬f(XA, XB', XC).
     q.assert_cone(cone.aig, root, v1, true, itp::kTagA);
     q.assert_cone(cone.aig, root, map2, false, itp::kTagA);
+    assert_care(q, v1, itp::kTagA);
+    assert_care(q, map2, itp::kTagA);
     q.assert_cone(cone.aig, root, map3, false, itp::kTagB);
+    assert_care(q, map3, itp::kTagB);
     const sat::Result r = q.solver->solve();
-    STEP_CHECK(r == sat::Result::kUnsat);  // partition must be valid
+    STEP_CHECK(r == sat::Result::kUnsat);  // partition must be valid (on care)
 
     std::vector<aig::Lit> shared_map(q.solver->num_vars(), aig::kLitInvalid);
     for (int i = 0; i < n; ++i) {
@@ -79,10 +91,13 @@ std::pair<aig::Lit, aig::Lit> or_extract(const Cone& cone, aig::Lit root,
     for (int i = 0; i < n; ++i) {
       if (in_class(i, VarClass::kA)) map2[i] = sat::mk_lit(q.solver->new_var());
     }
-    // A-part: f(X) ∧ ¬fA(XA, XC);  B-part: ¬f(XA', XB, XC).
+    // A-part: care(X) ∧ f(X) ∧ ¬fA(XA, XC);
+    // B-part: care(X') ∧ ¬f(XA', XB, XC).
     q.assert_cone(cone.aig, root, w1, true, itp::kTagA);
     q.assert_cone(dst, fa, w1, false, itp::kTagA);  // fa depends on XA ∪ XC only
+    assert_care(q, w1, itp::kTagA);
     q.assert_cone(cone.aig, root, map2, false, itp::kTagB);
+    assert_care(q, map2, itp::kTagB);
     const sat::Result r = q.solver->solve();
     STEP_CHECK(r == sat::Result::kUnsat);
 
@@ -98,7 +113,7 @@ std::pair<aig::Lit, aig::Lit> or_extract(const Cone& cone, aig::Lit root,
 }  // namespace
 
 ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
-                                     const Partition& p) {
+                                     const Partition& p, const CareSet* care) {
   STEP_CHECK(p.size() == cone.n());
   ExtractedFunctions out;
   std::vector<aig::Lit> inputs(cone.n());
@@ -108,7 +123,7 @@ ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
 
   switch (op) {
     case GateOp::kOr: {
-      auto [fa, fb] = or_extract(cone, cone.root, p, out.aig, inputs);
+      auto [fa, fb] = or_extract(cone, cone.root, p, out.aig, inputs, care);
       out.fa = fa;
       out.fb = fb;
       out.combined = out.aig.lor(fa, fb);
@@ -116,7 +131,8 @@ ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
     }
     case GateOp::kAnd: {
       // f = ¬(¬fA' ∨ ¬fB') where (fA', fB') OR-decompose ¬f.
-      auto [ga, gb] = or_extract(cone, aig::lnot(cone.root), p, out.aig, inputs);
+      auto [ga, gb] =
+          or_extract(cone, aig::lnot(cone.root), p, out.aig, inputs, care);
       out.fa = aig::lnot(ga);
       out.fb = aig::lnot(gb);
       out.combined = out.aig.land(out.fa, out.fb);
@@ -149,8 +165,9 @@ ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
   return out;
 }
 
-bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns) {
-  return cones_equivalent(cone, Cone{fns.aig, fns.combined});
+bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns,
+                          const CareSet* care) {
+  return cones_equivalent_on_care(cone, Cone{fns.aig, fns.combined}, care);
 }
 
 bool cones_equivalent(const Cone& a, const Cone& b) {

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/bidec_types.h"
+#include "core/care.h"
 
 namespace step::core {
 
@@ -29,11 +30,20 @@ struct ExtractedFunctions {
 ///   fB = ITP( f(X) ∧ ¬fA(XA,XC)    ,  ¬f(XA',XB,XC) )     over XB ∪ XC
 /// AND: duality — OR-extraction of ¬f, both results complemented.
 /// XOR: cofactoring — fA = f|XB←0,  fB = f|XA←0 ⊕ f|XA←0,XB←0.
+///
+/// A non-trivial `care` (partition validated on the care set only) is
+/// conjoined onto every cone copy of the interpolation queries, which
+/// keeps them refutable and yields fA/fB correct *on the care set*:
+/// fa <OP> fb ≡ f on every care minterm, free elsewhere. XOR partitions
+/// are exact by construction, so cofactoring needs no care handling.
 ExtractedFunctions extract_functions(const Cone& cone, GateOp op,
-                                     const Partition& p);
+                                     const Partition& p,
+                                     const CareSet* care = nullptr);
 
-/// SAT check that f ≡ fa <OP> fb (miter unsatisfiability).
-bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns);
+/// SAT check that f ≡ fa <OP> fb (miter unsatisfiability), restricted to
+/// the care minterms when `care` is non-trivial.
+bool verify_decomposition(const Cone& cone, const ExtractedFunctions& fns,
+                          const CareSet* care = nullptr);
 
 /// SAT miter over shared inputs: true iff two cones with the same input
 /// count (inputs identified positionally) compute the same function.

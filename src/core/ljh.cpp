@@ -37,15 +37,21 @@ PartitionSearchResult LjhDecomposer::find_partition(const Deadline* deadline) {
   int attempts = 0;
   int grown = 0;
   bool all_pairs_tried = true;
+  bool timed_out = false;
   bool best_set = false;
   Partition best;
   std::pair<int, int> best_cost{0, 0};  // (shared, imbalance) lexicographic
 
-  for (int j = 0; j < n && grown < opts_.max_grown_seeds; ++j) {
+  for (int j = 0; j < n && grown < opts_.max_grown_seeds && !timed_out; ++j) {
     for (int l = j + 1; l < n && grown < opts_.max_grown_seeds; ++l) {
-      if (attempts >= opts_.max_seed_attempts || out_of_time()) {
+      if (attempts >= opts_.max_seed_attempts) {
         all_pairs_tried = false;
         j = n;  // abandon both loops
+        break;
+      }
+      if (out_of_time()) {
+        timed_out = true;
+        j = n;
         break;
       }
       ++attempts;
@@ -54,26 +60,49 @@ PartitionSearchResult LjhDecomposer::find_partition(const Deadline* deadline) {
       seed.cls[l] = VarClass::kB;
       sat::Result status;
       if (!check(seed, deadline, &status)) {
-        if (status == sat::Result::kUnknown) all_pairs_tried = false;
+        // A deadline-expired check proves nothing: treating it as
+        // "invalid" would keep excluding seeds and could end in a bogus
+        // exhaustiveness claim. Abort with the timeout status instead.
+        if (status == sat::Result::kUnknown) {
+          timed_out = true;
+          j = n;
+          break;
+        }
         continue;
       }
 
       // Greedy growth: move shared variables into XA or XB while the
-      // partition stays valid.
+      // partition stays valid. Every move's validity check threads its
+      // status: an unknown (deadline-expired) verdict must not demote the
+      // move to "invalid" — the variable would be wrongly excluded and
+      // the search would keep burning solver calls past the deadline.
       Partition p = seed;
+      bool growth_timed_out = false;
       for (int v = 0; v < n; ++v) {
         if (p.cls[v] != VarClass::kC) continue;
         if (out_of_time()) {
-          all_pairs_tried = false;
+          growth_timed_out = true;
           break;
         }
+        sat::Result move_status;
         p.cls[v] = VarClass::kA;
-        if (check(p, deadline, nullptr)) continue;
+        if (check(p, deadline, &move_status)) continue;
+        if (move_status == sat::Result::kUnknown) {
+          p.cls[v] = VarClass::kC;
+          growth_timed_out = true;
+          break;
+        }
         p.cls[v] = VarClass::kB;
-        if (check(p, deadline, nullptr)) continue;
+        if (check(p, deadline, &move_status)) continue;
         p.cls[v] = VarClass::kC;
+        if (move_status == sat::Result::kUnknown) {
+          growth_timed_out = true;
+          break;
+        }
       }
 
+      // The partially grown partition is still valid (growth only ever
+      // keeps validated moves), so it may compete for best.
       const Metrics m = Metrics::of(p);
       const std::pair<int, int> cost{m.shared, m.imbalance};
       if (!best_set || cost < best_cost) {
@@ -82,12 +111,18 @@ PartitionSearchResult LjhDecomposer::find_partition(const Deadline* deadline) {
         best_cost = cost;
       }
       ++grown;
+      if (growth_timed_out) {
+        timed_out = true;
+        j = n;
+        break;
+      }
     }
   }
 
   result.found = best_set;
   if (best_set) result.partition = std::move(best);
-  result.exhausted = all_pairs_tried && !best_set;
+  result.timed_out = timed_out;
+  result.exhausted = all_pairs_tried && !best_set && !timed_out;
   result.sat_calls = sat_calls_;
   return result;
 }

@@ -30,6 +30,7 @@ PartitionSearchResult MgDecomposer::find_partition(const Deadline* deadline) {
     for (int l = j + 1; l < n; ++l) {
       if (attempts >= opts_.max_seed_attempts || out_of_time()) {
         all_pairs_tried = false;
+        result.timed_out = out_of_time();
         j = n;
         break;
       }
@@ -43,7 +44,14 @@ PartitionSearchResult MgDecomposer::find_partition(const Deadline* deadline) {
         seed_l = l;
         break;
       }
-      if (status == sat::Result::kUnknown) all_pairs_tried = false;
+      // Deadline-expired check: stop scanning instead of burning one
+      // no-op SAT call per remaining pair (same contract as LJH).
+      if (status == sat::Result::kUnknown) {
+        all_pairs_tried = false;
+        result.timed_out = true;
+        j = n;
+        break;
+      }
     }
   }
   if (seed_j < 0) {

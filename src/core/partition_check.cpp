@@ -4,8 +4,9 @@
 
 namespace step::core {
 
-bool check_partition(const Cone& cone, GateOp op, const Partition& p) {
-  const RelaxationMatrix m = build_relaxation_matrix(cone, op);
+bool check_partition(const Cone& cone, GateOp op, const Partition& p,
+                     const CareSet* care) {
+  const RelaxationMatrix m = build_relaxation_matrix(cone, op, care);
   RelaxationSolver rs(m);
   return rs.is_valid(p);
 }
@@ -17,14 +18,23 @@ namespace {
 struct TtView {
   std::vector<std::uint64_t> tt;
   int n;
+  /// Care table; empty = completely specified.
+  std::vector<std::uint64_t> care;
 
   bool value(std::size_t row) const { return aig::tt_bit(tt, row); }
+  bool in_care(std::size_t row) const {
+    return care.empty() || aig::tt_bit(care, row);
+  }
 };
 
-TtView make_view(const Cone& cone) {
+TtView make_view(const Cone& cone, const CareSet* care) {
   std::vector<std::uint32_t> support(cone.aig.num_inputs());
   for (std::uint32_t i = 0; i < cone.aig.num_inputs(); ++i) support[i] = i;
-  return TtView{aig::truth_table(cone.aig, cone.root, support), cone.n()};
+  TtView v{aig::truth_table(cone.aig, cone.root, support), cone.n(), {}};
+  if (!care_is_trivial(care)) {
+    v.care = aig::truth_table(care->aig, care->root, support);
+  }
+  return v;
 }
 
 /// Enumerates all assignments to the positions in `mask_positions`,
@@ -48,20 +58,23 @@ void for_each_patch(std::size_t row, const std::vector<int>& positions, Fn fn) {
 
 bool or_valid(const TtView& v, const std::vector<int>& a_pos,
               const std::vector<int>& b_pos, bool complement) {
-  // Valid iff every onset row r has (∀a' f(a',b,c)) or (∀b' f(a,b',c)).
-  // `complement` flips the function (the AND case decomposes ¬f).
+  // Valid iff every care onset row r has (∀a' care: f(a',b,c)) or
+  // (∀b' care: f(a,b',c)) — a care offset in the XA-orbit forces gB(b,c)
+  // to 0 and one in the XB-orbit forces gA(a,c) to 0; don't-care rows
+  // impose nothing. `complement` flips the function (the AND case
+  // decomposes ¬f).
   auto fv = [&](std::size_t rr) { return v.value(rr) != complement; };
   const std::size_t rows = std::size_t{1} << v.n;
   for (std::size_t r = 0; r < rows; ++r) {
-    if (!fv(r)) continue;  // offset rows impose nothing here
+    if (!v.in_care(r) || !fv(r)) continue;  // offset/DC rows impose nothing
     bool all_a = true;
     for_each_patch(r, a_pos, [&](std::size_t rr) {
-      if (!fv(rr)) all_a = false;
+      if (v.in_care(rr) && !fv(rr)) all_a = false;
     });
     if (all_a) continue;
     bool all_b = true;
     for_each_patch(r, b_pos, [&](std::size_t rr) {
-      if (!fv(rr)) all_b = false;
+      if (v.in_care(rr) && !fv(rr)) all_b = false;
     });
     if (!all_b) return false;
   }
@@ -86,10 +99,12 @@ bool xor_valid(const TtView& v, const std::vector<int>& a_pos,
 
 }  // namespace
 
-bool check_partition_exhaustive(const Cone& cone, GateOp op, const Partition& p) {
+bool check_partition_exhaustive(const Cone& cone, GateOp op, const Partition& p,
+                                const CareSet* care) {
   STEP_CHECK(p.size() == cone.n());
   STEP_CHECK(cone.n() <= 16);
-  const TtView v = make_view(cone);
+  if (op == GateOp::kXor) care = nullptr;  // mirror the SAT path's semantics
+  const TtView v = make_view(cone, care);
   std::vector<int> a_pos, b_pos;
   for (int j = 0; j < p.size(); ++j) {
     if (p.cls[j] == VarClass::kA) a_pos.push_back(j);

@@ -9,12 +9,17 @@ namespace step::core {
 
 /// One-shot SAT validity check of a concrete partition (builds the matrix
 /// and a solver internally; for repeated checks use RelaxationSolver).
-bool check_partition(const Cone& cone, GateOp op, const Partition& p);
+/// A non-trivial `care` restricts validity to the care minterms (OR/AND;
+/// XOR stays exact — see build_relaxation_matrix).
+bool check_partition(const Cone& cone, GateOp op, const Partition& p,
+                     const CareSet* care = nullptr);
 
 /// Truth-table validity oracle (exhaustive; support <= 16). Used by the
 /// property tests and the brute-force optimum below, and as an independent
-/// cross-check of the SAT formulation.
-bool check_partition_exhaustive(const Cone& cone, GateOp op, const Partition& p);
+/// cross-check of the SAT formulation — including its don't-care variant:
+/// `care` follows the same OR/AND-only semantics as the SAT path.
+bool check_partition_exhaustive(const Cone& cone, GateOp op, const Partition& p,
+                                const CareSet* care = nullptr);
 
 /// Which metric a search optimizes (the paper's QD / QB / QDB targets).
 enum class MetricKind { kDisjointness, kBalancedness, kSum };

@@ -17,10 +17,17 @@ Cone extract_po_cone(const aig::Aig& circuit, std::uint32_t po,
   return cone;
 }
 
-RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op) {
+RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op,
+                                         const CareSet* care) {
   RelaxationMatrix m;
   m.op = op;
   m.n = cone.n();
+  if (op == GateOp::kXor) care = nullptr;  // XOR keeps exact semantics
+  if (care_is_trivial(care)) care = nullptr;
+  if (care != nullptr) {
+    STEP_CHECK(static_cast<int>(care->aig.num_inputs()) == m.n);
+    m.care_constrained = true;
+  }
   aig::Aig& a = m.aig;
 
   auto make_inputs = [&](const char* prefix, std::vector<std::uint32_t>& idx,
@@ -59,6 +66,14 @@ RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op) {
       conj = {a.lxor(a.lxor(f0, f1), a.lxor(f2, f3))};
       break;
     }
+  }
+
+  // Don't-care windows: every copy must be a care minterm, so invalidity
+  // witnesses (and CEGAR countermodels) are confined to the care set.
+  if (care != nullptr) {
+    conj.push_back(aig::copy_cone(care->aig, care->root, a, lx));
+    conj.push_back(aig::copy_cone(care->aig, care->root, a, lxp));
+    conj.push_back(aig::copy_cone(care->aig, care->root, a, lxpp));
   }
 
   // Relaxable equivalence constraints.

@@ -5,6 +5,7 @@
 #include "aig/aig.h"
 #include "common/timer.h"
 #include "core/bidec_types.h"
+#include "core/care.h"
 #include "sat/solver.h"
 
 namespace step::core {
@@ -33,12 +34,26 @@ struct RelaxationMatrix {
   aig::Lit phi = aig::kLitFalse;
   GateOp op = GateOp::kOr;
   int n = 0;
+  /// True when a care set was conjoined into Φ (see below): validity then
+  /// means "valid on the care minterms".
+  bool care_constrained = false;
   // Input index vectors into `aig`, each of length n
   // (xppp only for XOR; empty otherwise).
   std::vector<std::uint32_t> x, xp, xpp, xppp, alpha, beta;
 };
 
-RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op);
+/// With a non-trivial `care`, Φ additionally requires every cone copy to
+/// lie in the care set, which is exactly the incompletely-specified
+/// validity condition: for OR, the partition is infeasible iff some care
+/// onset minterm has a care offset witness in its XA-relaxed orbit *and*
+/// one in its XB-relaxed orbit (those witnesses force both gA and gB to 0).
+/// Every engine — LJH growth, MG group-MUS, the QBF CEGAR models — checks
+/// partitions through this one matrix, so all of them become
+/// don't-care-aware with no further changes. XOR is the exception: its
+/// 4-copy relaxation only rules out odd 4-cycles, which is necessary but
+/// not sufficient on a sparse care set, so XOR keeps exact semantics.
+RelaxationMatrix build_relaxation_matrix(const Cone& cone, GateOp op,
+                                         const CareSet* care = nullptr);
 
 /// Incremental SAT view of the matrix: Φ is Tseitin-encoded once, and a
 /// concrete partition is checked by assuming values of the α/β variables.

@@ -60,13 +60,21 @@ struct TreeBuilder {
   }
 
   /// Entry point per cone: reduces the support first so the core
-  /// decomposition (and the cache key) sees only relevant inputs.
-  std::shared_ptr<const DecTree> build(const Cone& cone, int depth) {
+  /// decomposition (and the cache key) sees only relevant inputs. The
+  /// care set follows the reduction through existential projection; when
+  /// the projection is over budget the child proceeds exactly (sound).
+  std::shared_ptr<const DecTree> build(const Cone& cone, const CareSet* care,
+                                       int depth) {
+    if (!opts.use_dont_cares || care_is_trivial(care)) care = nullptr;
     if (opts.reduce_supports && cone.n() > 0 && !expired()) {
       std::vector<std::uint32_t> kept;
       const Cone reduced = reduce_cone(cone, &kept);
       if (static_cast<int>(kept.size()) < cone.n()) {
-        auto sub = build_core(reduced, depth);
+        std::optional<CareSet> proj;
+        if (care != nullptr) {
+          proj = care_project(*care, kept, opts.max_care_project);
+        }
+        auto sub = build_core(reduced, proj ? &*proj : nullptr, depth);
         DecTree t;
         t.n = cone.n();
         DecTreeNode node;
@@ -77,11 +85,12 @@ struct TreeBuilder {
         return std::make_shared<const DecTree>(std::move(t));
       }
     }
-    return build_core(cone, depth);
+    return build_core(cone, care, depth);
   }
 
-  /// Decomposes a support-tight cone.
-  std::shared_ptr<const DecTree> build_core(const Cone& cone, int depth) {
+  /// Decomposes a support-tight cone, correct on `care` (exact when null).
+  std::shared_ptr<const DecTree> build_core(const Cone& cone,
+                                            const CareSet* care, int depth) {
     const int n = cone.n();
     if (n == 0) {
       const bool v = (aig::simulate_cone(cone.aig, cone.root, {}) & 1ULL) != 0;
@@ -95,12 +104,22 @@ struct TreeBuilder {
       if (v0 == v1) return make_const_leaf(v0);
       return make_literal_leaf(/*negated=*/v0);
     }
+    // Sibling ODCs routinely pin whole sub-functions: constant-on-care
+    // cones collapse before any decomposition or cache traffic.
+    if (care != nullptr && !expired()) {
+      if (std::optional<bool> v = constant_on_care(cone, *care)) {
+        if (stats != nullptr) ++stats->dc_constants;
+        return make_const_leaf(*v);
+      }
+    }
     if (n <= opts.leaf_support || depth >= opts.max_depth || expired()) {
       return make_cone_leaf(cone);
     }
 
     DecCacheKey key;
     if (opts.cache != nullptr) {
+      // Exact entries are correct on any care set, so lookups always
+      // serve; insertion below is gated on exactness.
       if (auto hit = opts.cache->lookup(cone, &key)) {
         if (stats != nullptr) ++stats->cache_hits;
         DecTree t;
@@ -130,7 +149,7 @@ struct TreeBuilder {
         dopts.po_budget_s =
             std::min(dopts.po_budget_s, deadline->remaining_s());
       }
-      DecomposeResult r = BiDecomposer(dopts).decompose(cone);
+      DecomposeResult r = BiDecomposer(dopts).decompose(cone, care);
       if (r.status != DecomposeStatus::kDecomposed) continue;
       if (!have || metric_cost(r.metrics, MetricKind::kSum) <
                        metric_cost(best.metrics, MetricKind::kSum)) {
@@ -144,32 +163,50 @@ struct TreeBuilder {
       if (stats != nullptr) ++stats->undecomposable;
       return make_cone_leaf(cone);
     }
-    if (stats != nullptr) ++stats->decompositions;
+    if (stats != nullptr) {
+      ++stats->decompositions;
+      if (care != nullptr) ++stats->dc_nodes;
+    }
 
     // Recurse into fA and fB: each is re-extracted as a standalone cone so
-    // its inputs are exactly its own (structural) support.
+    // its inputs are exactly its own (structural) support. In DC mode each
+    // child inherits the parent care restricted by its sibling's
+    // observability don't-cares (see child_care).
     const ExtractedFunctions& fns = *best.functions;
     DecTree t;
     t.n = n;
-    auto recurse = [&](aig::Lit f) {
+    auto recurse = [&](aig::Lit f, int child) {
       Cone sub;
       std::vector<std::uint32_t> used;
       std::vector<aig::Lit> created;
       sub.root = aig::extract_cone(fns.aig, f, sub.aig, used, created);
+      std::optional<CareSet> sub_care;
+      if (opts.use_dont_cares) {
+        const CareSet full =
+            child_care(care, fns.aig, fns.fa, fns.fb, best_op, child, n);
+        if (!full.trivial()) {
+          sub_care = care_project(full, used, opts.max_care_project);
+        }
+      }
       DecTreeNode node;
       node.kind = DecTreeNode::Kind::kShared;
-      node.shared = build(sub, depth + 1);
+      node.shared = build(sub, sub_care ? &*sub_care : nullptr, depth + 1);
       node.inputs.assign(used.begin(), used.end());
       return t.add(std::move(node));
     };
     DecTreeNode gate;
     gate.kind = DecTreeNode::Kind::kGate;
     gate.op = best_op;
-    gate.child0 = recurse(fns.fa);
-    gate.child1 = recurse(fns.fb);
+    gate.child0 = recurse(fns.fa, 0);
+    gate.child1 = recurse(fns.fb, 1);
     t.root = t.add(std::move(gate));
     auto result = std::make_shared<const DecTree>(std::move(t));
-    if (opts.cache != nullptr) opts.cache->insert(cone, key, DecTree(*result));
+    // A tree built under don't-cares only matches its cone on the care
+    // set; caching it would corrupt later exact (or differently-cared)
+    // lookups of the same function, so only exact nodes insert.
+    if (opts.cache != nullptr && care == nullptr) {
+      opts.cache->insert(cone, key, DecTree(*result));
+    }
     return result;
   }
 };
@@ -182,6 +219,8 @@ SynthesisStats& SynthesisStats::operator+=(const SynthesisStats& o) {
   leaves += o.leaves;
   undecomposable += o.undecomposable;
   cache_hits += o.cache_hits;
+  dc_nodes += o.dc_nodes;
+  dc_constants += o.dc_constants;
   ands_before += o.ands_before;
   ands_after += o.ands_after;
   depth_before = std::max(depth_before, o.depth_before);
@@ -192,17 +231,19 @@ SynthesisStats& SynthesisStats::operator+=(const SynthesisStats& o) {
 std::shared_ptr<const DecTree> decompose_to_tree(const Cone& cone,
                                                  const SynthesisOptions& opts,
                                                  SynthesisStats* stats,
-                                                 const Deadline* deadline) {
+                                                 const Deadline* deadline,
+                                                 const CareSet* care) {
   TreeBuilder builder{opts, stats, deadline};
-  return builder.build(cone, 0);
+  return builder.build(cone, care, 0);
 }
 
-bool tree_equivalent(const Cone& cone, const DecTree& tree) {
+bool tree_equivalent(const Cone& cone, const DecTree& tree,
+                     const CareSet* care) {
   Cone replay;
   std::vector<aig::Lit> inputs(cone.n());
   for (int i = 0; i < cone.n(); ++i) inputs[i] = replay.aig.add_input();
   replay.root = emit_tree(tree, replay.aig, inputs);
-  return cones_equivalent(cone, replay);
+  return cones_equivalent_on_care(cone, replay, care);
 }
 
 int cone_depth(const aig::Aig& a, aig::Lit root) {

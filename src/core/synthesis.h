@@ -43,6 +43,20 @@ struct SynthesisOptions {
   /// Shared decomposition cache; nullptr disables caching. The cache is
   /// thread-safe, so one instance may serve concurrent PO workers.
   DecCache* cache = nullptr;
+  /// Don't-care-aware recursion: every split hands its children the
+  /// parent's care set restricted by the sibling's observability
+  /// don't-cares (under f = fA OR fB, fA may change wherever fB is 1),
+  /// sub-functions constant on their care set collapse to constant
+  /// leaves, and per-node validity/extraction/verification run on the
+  /// care set. The tree still replays to a function exactly equivalent at
+  /// the root (whose care is full), so whole-netlist verification is
+  /// unaffected. Cache entries are only *written* by exactly-specified
+  /// nodes — an exact tree serves any care set, but not vice versa.
+  bool use_dont_cares = false;
+  /// Inputs the care projection may existentially quantify per
+  /// support-reduction step before the child falls back to exact
+  /// semantics (each quantified input can double the care AIG).
+  int max_care_project = 8;
   /// Per-decomposition options (budgets etc.).
   DecomposeOptions per_node;
 };
@@ -53,6 +67,8 @@ struct SynthesisStats {
   int leaves = 0;            ///< cones/literals/constants emitted verbatim
   int undecomposable = 0;    ///< leaves forced by failed decomposition
   int cache_hits = 0;        ///< recursion nodes served by the cache
+  int dc_nodes = 0;          ///< nodes decomposed under a non-trivial care
+  int dc_constants = 0;      ///< sub-functions constant on their care set
   std::uint32_t ands_before = 0, ands_after = 0;
   int depth_before = 0, depth_after = 0;
 
@@ -69,13 +85,18 @@ struct SynthesisResult {
 /// Recursively bi-decomposes one cone (inputs == support) into an explicit
 /// tree, consulting and populating `opts.cache` at every non-trivial node.
 /// When `deadline` expires mid-recursion, remaining sub-cones are emitted
-/// as verbatim leaves — the result is always functionally complete.
+/// as verbatim leaves — the result is always functionally complete. A
+/// non-trivial `care` (e.g. an SDC window's) makes the tree correct on the
+/// care minterms only; it requires `opts.use_dont_cares`.
 std::shared_ptr<const DecTree> decompose_to_tree(
     const Cone& cone, const SynthesisOptions& opts,
-    SynthesisStats* stats = nullptr, const Deadline* deadline = nullptr);
+    SynthesisStats* stats = nullptr, const Deadline* deadline = nullptr,
+    const CareSet* care = nullptr);
 
-/// SAT miter: the tree replays to a function equivalent to `cone`.
-bool tree_equivalent(const Cone& cone, const DecTree& tree);
+/// SAT miter: the tree replays to a function equivalent to `cone` — on
+/// every care minterm when `care` is non-trivial, everywhere otherwise.
+bool tree_equivalent(const Cone& cone, const DecTree& tree,
+                     const CareSet* care = nullptr);
 
 /// Rewrites every PO of `circuit` by recursive bi-decomposition.
 /// The result is functionally equivalent (tests verify by miter).

@@ -127,6 +127,53 @@ TEST(DecCache, WideConesUseSignatureAndSatConfirmation) {
   EXPECT_TRUE(tree_equivalent(c2, *t2));
 }
 
+TEST(DecCache, PermutedWideConesHitThroughSignatureNormalization) {
+  // Regression (PR 5): the wide-cone signature hashed simulation words in
+  // raw cone-input order, so permuted variants of one function never
+  // collided — permuted lookups dodged their own entry and inserted
+  // duplicates. The normalized key (sorted per-input signature fold) must
+  // bucket them together, and the rank correspondence must SAT-confirm.
+  DecCache cache;
+  SynthesisOptions opts = mg_opts(&cache);
+  opts.reduce_supports = false;  // keep the wide support intact
+
+  // 8 inputs with pairwise-distinct roles so the per-input signatures
+  // induce an unambiguous correspondence:
+  // f = x0 | (x1 & x2 & x3) | (x4 & !x5 & x6 & x7) with asymmetric mixing.
+  auto build = [](const std::vector<int>& order) {
+    aig::Aig a;
+    std::vector<aig::Lit> x(8);
+    for (int i = 0; i < 8; ++i) x[i] = a.add_input();
+    auto v = [&](int pos) { return x[order[pos]]; };
+    const aig::Lit t1 = a.land(a.land(v(1), v(2)), v(3));
+    const aig::Lit t2 =
+        a.land(a.land(v(4), aig::lnot(v(5))), a.land(v(6), v(7)));
+    const aig::Lit t3 = a.land(v(2), aig::lnot(v(7)));
+    a.add_output(a.lor(a.lor(v(0), t1), a.lor(t2, t3)), "f");
+    return a;
+  };
+
+  const std::vector<int> identity{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> shuffled{5, 3, 7, 0, 2, 6, 1, 4};
+  const aig::Aig base_circ = build(identity);
+  const aig::Aig perm_circ = build(shuffled);
+
+  const Cone base = cone_of(base_circ, 0);
+  auto t1 = decompose_to_tree(base, opts);
+  ASSERT_GT(cache.stats().insertions, 0u);
+  EXPECT_TRUE(tree_equivalent(base, *t1));
+
+  // The permuted cone must *hit* (SAT-confirmed), not miss, and the
+  // rewired tree must replay to the permuted function.
+  const Cone permuted = cone_of(perm_circ, 0);
+  const DecCacheStats before = cache.stats();
+  auto t2 = decompose_to_tree(permuted, opts);
+  const DecCacheStats s = cache.stats();
+  EXPECT_GT(s.sig_hits, before.sig_hits);
+  EXPECT_GT(s.sat_confirms, before.sat_confirms);
+  EXPECT_TRUE(tree_equivalent(permuted, *t2));
+}
+
 TEST(DecCache, LookupInsertRoundTripPreservesFunctions) {
   // Randomized: decompose random cones with a shared cache and verify
   // every produced tree against its cone — hits included.

@@ -57,6 +57,59 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(OpSeed{GateOp::kOr, 0}, OpSeed{GateOp::kOr, 1},
                       OpSeed{GateOp::kAnd, 0}, OpSeed{GateOp::kXor, 0}));
 
+TEST(LjhDeadline, ExpiredChecksAbortWithTimeoutNotExclusion) {
+  // Regression (PR 5): a deadline-expired validity check inside the
+  // seed/growth loops used to be treated as "partition invalid" — the
+  // search kept excluding variables and scanning seeds after expiry and
+  // could even end in an exhaustiveness claim it never proved. Force the
+  // deadline to expire at every reachable poll point and assert the
+  // search (a) reports the timeout, (b) never claims exhaustion, and
+  // (c) only returns partitions that were actually validated.
+  const Cone cone = testutil::random_cone(5, 16, 0x11f5);
+  const RelaxationMatrix m = build_relaxation_matrix(cone, GateOp::kOr);
+  LjhOptions inc;
+  inc.incremental_sat = true;
+
+  LjhDecomposer ref(m, inc);
+  const PartitionSearchResult unlimited = ref.find_partition();
+  ASSERT_TRUE(unlimited.found);
+  EXPECT_FALSE(unlimited.timed_out);
+
+  bool saw_timeout = false;
+  for (int polls = 0; polls < 80; ++polls) {
+    Deadline d;
+    d.force_expire_after_polls(polls);
+    LjhDecomposer ljh(m, inc);
+    const PartitionSearchResult r = ljh.find_partition(&d);
+    if (r.timed_out) {
+      saw_timeout = true;
+      EXPECT_FALSE(r.exhausted) << "polls=" << polls;
+    } else {
+      // The deadline never fired mid-search: the result must be exactly
+      // the unlimited one (timeouts may truncate, never perturb).
+      EXPECT_EQ(r.found, unlimited.found) << "polls=" << polls;
+      EXPECT_EQ(r.partition.cls, unlimited.partition.cls)
+          << "polls=" << polls;
+    }
+    if (r.found) {
+      EXPECT_TRUE(r.partition.non_trivial());
+      EXPECT_TRUE(check_partition_exhaustive(cone, GateOp::kOr, r.partition))
+          << "polls=" << polls;
+    }
+  }
+  EXPECT_TRUE(saw_timeout);
+
+  // Pre-expired deadline: the search must stop before any solver call.
+  Deadline d0;
+  d0.force_expire_after_polls(0);
+  LjhDecomposer ljh0(m, inc);
+  const PartitionSearchResult r0 = ljh0.find_partition(&d0);
+  EXPECT_TRUE(r0.timed_out);
+  EXPECT_FALSE(r0.found);
+  EXPECT_FALSE(r0.exhausted);
+  EXPECT_EQ(ljh0.sat_calls(), 0);
+}
+
 // ---------- MG ------------------------------------------------------------------
 
 class MgRandom : public ::testing::TestWithParam<OpSeed> {};

@@ -154,6 +154,29 @@ TEST(ParallelDriver, ExpiredCircuitBudgetReportsUnknownEverywhere) {
   }
 }
 
+TEST(ParallelDriver, BudgetExpiryMidLastJobStillRaisesTheFlag) {
+  // Regression (PR 5): hit_circuit_budget was only set when a job
+  // *started* after expiry. With every job started before the budget died
+  // — the common case: the budget expires while the last worker is inside
+  // its cone — the flag stayed false. It must now be aggregated from the
+  // shared deadline, identically across thread counts.
+  const aig::Aig circ =
+      benchgen::merge({benchgen::parity_tree(14), benchgen::parity_tree(13)});
+  core::DecomposeOptions opts =
+      generous_opts(core::Engine::kQbfCombined, core::GateOp::kOr);
+  opts.extract = false;  // the budget dies inside the partition search
+  // Small enough that these 13/14-input OR searches cannot finish inside
+  // it, yet the jobs themselves launch within microseconds — and if a
+  // worker does start late, it observes the expiry directly, so the flag
+  // must be true on every schedule.
+  const double budget_s = 0.002;
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const auto r = core::run_circuit(circ, "par", opts, budget_s, {threads});
+    EXPECT_TRUE(r.hit_circuit_budget);
+  }
+}
+
 TEST(ParallelDriver, ZeroThreadsMeansHardwareConcurrency) {
   const aig::Aig circ = benchgen::parity_tree(6);
   const auto opts = generous_opts(core::Engine::kMg, core::GateOp::kXor);

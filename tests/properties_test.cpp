@@ -53,6 +53,46 @@ TEST_P(PropertySeeds, AndOrDuality) {
   }
 }
 
+TEST_P(PropertySeeds, DcValidityIsMonotoneInTheCareSet) {
+  // Removing minterms from the care set only removes constraints: if a
+  // partition is valid on care set C, it stays valid on any C' ⊆ C (and
+  // in particular the exact check implies every DC check). Dually, a
+  // DC-invalid partition is invalid on every superset care set.
+  Rng rng(GetParam() * 517 + 11);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = rng.next_int(3, 5);
+    const Cone cone = testutil::random_cone(n, rng.next_int(3, 20), rng.next());
+    const Partition p = testutil::random_partition(n, rng);
+    const GateOp op = iter % 2 == 0 ? GateOp::kOr : GateOp::kAnd;
+
+    // Random care C and a random subset C' of it.
+    const std::size_t rows = std::size_t{1} << n;
+    std::vector<std::uint64_t> big(aig::tt_words(n), 0), small(big);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (rng.next_double() < 0.8) {
+        big[r >> 6] |= 1ULL << (r & 63);
+        if (rng.next_bool()) small[r >> 6] |= 1ULL << (r & 63);
+      }
+    }
+    auto as_care = [&](const std::vector<std::uint64_t>& tt) {
+      CareSet c;
+      std::vector<aig::Lit> in(n);
+      for (int i = 0; i < n; ++i) in[i] = c.aig.add_input();
+      c.root = aig::build_from_tt(c.aig, tt, in);
+      return c;
+    };
+    const CareSet cbig = as_care(big), csmall = as_care(small);
+    const bool exact = check_partition_exhaustive(cone, op, p);
+    const bool on_big = check_partition_exhaustive(cone, op, p, &cbig);
+    const bool on_small = check_partition_exhaustive(cone, op, p, &csmall);
+    if (exact) EXPECT_TRUE(on_big) << iter;
+    if (on_big) EXPECT_TRUE(on_small) << iter;
+    // The SAT formulation agrees with the oracle on both care sets.
+    EXPECT_EQ(on_big, check_partition(cone, op, p, &cbig)) << iter;
+    EXPECT_EQ(on_small, check_partition(cone, op, p, &csmall)) << iter;
+  }
+}
+
 TEST_P(PropertySeeds, AbSymmetryForAllOps) {
   // Swapping XA and XB never changes validity (the symmetry the QD model
   // breaks for speed).

@@ -39,6 +39,9 @@ struct CliOptions {
   bool cache_stats = false;
   bool use_cache = true;
   bool verify = false;
+  bool use_dc = false;
+  bool dc_stats = false;
+  aig::WindowOptions window;
   sat::SolverOptions sat;
 };
 
@@ -63,6 +66,19 @@ constexpr const char kHelpText[] =
     "  --no-cache                resynth/recursive: disable the NPN cache\n"
     "  -j <n>                    worker threads (0 = one per hardware thread)\n"
     "  -o <out.blif>             resynth output file (default stdout)\n"
+    "\n"
+    "don't-care options (see docs/ARCHITECTURE.md § Don't-care windows):\n"
+    "  --dc                      exploit circuit don't-cares: decompose: each\n"
+    "                            PO gets an SDC window and is decomposed on\n"
+    "                            its care set (exact fallback, SAT-verified\n"
+    "                            splice); resynth/recursive: sibling-ODC care\n"
+    "                            sets drive every recursion node\n"
+    "  --no-dc                   force the exact semantics (the default)\n"
+    "  -dc-depth <n>             deepest window cut explored, in AND levels\n"
+    "                            (default 6)\n"
+    "  -dc-inputs <n>            widest window cut accepted (default 10,\n"
+    "                            max 16; the care set enumerates 2^n)\n"
+    "  --dc-stats                print window/care counters after the run\n"
     "\n"
     "SAT-solver options (see docs/SOLVER.md):\n"
     "  -restarts <luby|ema>      restart policy (default luby; ema =\n"
@@ -132,6 +148,25 @@ CliOptions parse_args(int argc, char** argv) {
       cli.use_cache = false;
     } else if (flag == "--verify" || flag == "-verify") {
       cli.verify = true;
+    } else if (flag == "--dc" || flag == "-dc") {
+      cli.use_dc = true;
+    } else if (flag == "--no-dc" || flag == "-no-dc") {
+      cli.use_dc = false;
+    } else if (flag == "-dc-depth") {
+      cli.window.max_depth = std::atoi(value());
+      if (cli.window.max_depth < 1) {
+        std::fprintf(stderr, "step: -dc-depth expects a level count >= 1\n");
+        usage();
+      }
+    } else if (flag == "-dc-inputs") {
+      cli.window.max_inputs = std::atoi(value());
+      if (cli.window.max_inputs < 2 || cli.window.max_inputs > 16) {
+        std::fprintf(stderr, "step: -dc-inputs expects a cut width in"
+                             " [2, 16]\n");
+        usage();
+      }
+    } else if (flag == "--dc-stats" || flag == "-dc-stats") {
+      cli.dc_stats = true;
     } else if (flag == "-j") {
       cli.num_threads = std::atoi(value());
     } else if (flag == "-o") {
@@ -189,6 +224,8 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   opts.optimum.call_timeout_s = cli.qbf_timeout_s;
   opts.qbf.incremental = cli.incremental;
   opts.sat = cli.sat;
+  opts.use_dont_cares = cli.use_dc;
+  opts.window = cli.window;
   core::ParallelDriverOptions par;
   par.num_threads = cli.num_threads;
   const core::CircuitRunResult run =
@@ -197,9 +234,10 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   std::printf("%-6s %8s %6s %7s %7s %8s %9s\n", "po", "support", "dec",
               "eD", "eB", "optimal", "cpu(s)");
   for (const core::PoOutcome& po : run.pos) {
+    // "yes*" = decomposed on an SDC window's care set (--dc).
     const char* status =
         po.status == core::DecomposeStatus::kDecomposed
-            ? "yes"
+            ? (po.used_window ? "yes*" : "yes")
             : po.status == core::DecomposeStatus::kNotDecomposable ? "no"
                                                                    : "t/o";
     std::printf("%-6d %8d %6s", po.po_index, po.support, status);
@@ -215,6 +253,14 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
               core::to_string(cli.engine), core::to_string(cli.op),
               run.num_decomposed(), run.pos.size(), run.num_proven_optimal(),
               run.total_cpu_s);
+  if (cli.dc_stats) {
+    std::printf("# dc: windows=%d window_decomposed=%d sdc_minterms=%llu"
+                " care_sat_completions=%ld\n",
+                run.num_windows_built(), run.num_window_decomposed(),
+                static_cast<unsigned long long>(
+                    run.total_window_sdc_minterms()),
+                run.total_window_sat_completions());
+  }
   if (cli.print_stats) {
     std::printf("# stats: mode=%s sat_calls=%ld qbf_calls=%ld"
                 " qbf_iterations=%ld\n",
@@ -252,9 +298,16 @@ core::SynthesisOptions synthesis_options(const CliOptions& cli,
   opts.engine = cli.engine;
   opts.pick_best_op = true;
   opts.cache = cache;
+  opts.use_dont_cares = cli.use_dc;
   opts.per_node.optimum.call_timeout_s = cli.qbf_timeout_s;
   opts.per_node.sat = cli.sat;
+  opts.per_node.window = cli.window;  // resynth reads per_node.window
   return opts;
+}
+
+void print_dc_synthesis_stats(const core::SynthesisStats& s) {
+  std::fprintf(stderr, "# dc: care_nodes=%d care_constants=%d\n", s.dc_nodes,
+               s.dc_constants);
 }
 
 void print_cache_stats(const core::DecCacheStats& c) {
@@ -307,6 +360,7 @@ int cmd_decompose_recursive(const CliOptions& cli, const io::Network& net,
                 r.all_verified ? "all POs SAT-proven equivalent"
                                : "MISMATCH — a PO failed the miter check");
   }
+  if (cli.dc_stats) print_dc_synthesis_stats(r.stats);
   if (cli.cache_stats) print_cache_stats(r.cache);
   return cli.verify && !r.all_verified ? 1 : 0;
 }
@@ -326,6 +380,7 @@ int cmd_resynth(const CliOptions& cli, const io::Network& net,
                  r.all_verified ? "all POs SAT-proven equivalent"
                                 : "MISMATCH — a PO failed the miter check");
   }
+  if (cli.dc_stats) print_dc_synthesis_stats(r.stats);
   if (cli.cache_stats) print_cache_stats(r.cache);
   const std::string text = io::write_blif(r.network, "resynth");
   if (cli.output.empty()) {
