@@ -401,22 +401,35 @@ int main(int argc, char** argv) {
       sat::Solver::Stats stats;
       std::vector<std::array<int, 3>> answers;
     };
-    constexpr int kConfigs = 3;
+    constexpr int kConfigs = 7;
     // More repeats than the architecture A/B: the configs are closer in
     // wall time, so the min-statistic needs more samples to stabilize.
     constexpr int kSatRepeats = 5;
+    // "modern" is the full-preprocessing shipping default; the no_*
+    // entries ablate one technique each; "no_preprocess" turns the whole
+    // tier off (the conflict baseline the CI gate compares against);
+    // "legacy" is the PR-3 solver.
     const sat::SolverOptions cfgs[kConfigs] = {
-        bench::modern_sat_config(), bench::modern_ema_sat_config(),
+        bench::modern_sat_config(),        bench::modern_ema_sat_config(),
+        bench::no_elim_sat_config(),       bench::no_scc_sat_config(),
+        bench::no_probe_sat_config(),      bench::no_preprocess_sat_config(),
         bench::legacy_sat_config()};
-    const char* cfg_names[kConfigs] = {"modern", "modern_ema", "legacy"};
+    const char* cfg_names[kConfigs] = {"modern",   "modern_ema",
+                                       "no_elim",  "no_scc",
+                                       "no_probe", "no_preprocess",
+                                       "legacy"};
     SatAb sab[kConfigs];
     std::printf("\n# SAT-configuration A/B (incremental optimum search,"
                 " whole suite, all QBF engines):\n");
     std::printf("%-10s %6s %9s %10s %11s %12s %10s\n", "config", "found",
                 "CPU(s)", "qbf_calls", "iterations", "conflicts", "restarts");
-    for (int cfg = 0; cfg < kConfigs; ++cfg) {
-      SatAb& res = sab[cfg];
-      for (int rep = 0; rep < kSatRepeats; ++rep) {
+    // Repeats on the outside, configs on the inside: ambient machine load
+    // drifts over the ~minute this A/B takes, and running one config's
+    // repeats back-to-back would charge that drift entirely to whichever
+    // config happened to run during the busy stretch.
+    for (int rep = 0; rep < kSatRepeats; ++rep) {
+      for (int cfg = 0; cfg < kConfigs; ++cfg) {
+        SatAb& res = sab[cfg];
         SatAb pass;
         Timer t;
         for (const Workload& w : work) {
@@ -445,6 +458,9 @@ int main(int argc, char** argv) {
         pass.wall_s = t.elapsed_s();
         if (rep == 0 || pass.wall_s < res.wall_s) res = std::move(pass);
       }
+    }
+    for (int cfg = 0; cfg < kConfigs; ++cfg) {
+      const SatAb& res = sab[cfg];
       std::printf("%-10s %6d %9.3f %10ld %11ld %12llu %10llu\n",
                   cfg_names[cfg], res.found, res.wall_s, res.qbf_calls,
                   res.iterations,
@@ -523,6 +539,11 @@ int main(int argc, char** argv) {
       j.kv("subsumed_clauses", res.stats.subsumed_clauses);
       j.kv("strengthened_clauses", res.stats.strengthened_clauses);
       j.kv("vivified_clauses", res.stats.vivified_clauses);
+      j.kv("eliminated_vars", res.stats.eliminated_vars);
+      j.kv("substituted_lits", res.stats.substituted_lits);
+      j.kv("failed_literals", res.stats.failed_literals);
+      j.kv("hyper_binaries", res.stats.hyper_binaries);
+      j.kv("transitive_reductions", res.stats.transitive_reductions);
       j.end_object();
     }
     j.end_object();

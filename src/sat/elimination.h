@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "sat/clause.h"
+#include "sat/types.h"
+
+namespace step::sat {
+
+class Solver;
+
+/// Bounded variable elimination by clause distribution (SatELite lineage).
+///
+/// A variable v is eliminated by replacing the clauses containing v with
+/// all non-tautological resolvents on v. Candidates are processed cheapest
+/// first and only accepted when the resolvent count does not exceed the
+/// deleted-clause count by more than SolverOptions::elim_grow; vars with
+/// heavy occurrence lists on both sides are skipped outright
+/// (elim_occ_limit), and one round stops at elim_budget resolution
+/// literals.
+///
+/// Safety:
+///   * frozen variables (assumptions, counter outputs, interpolation
+///     labels) are never candidates;
+///   * the deleted clauses are pushed onto the solver's reconstruction
+///     stack, so models of the reduced formula extend to the original;
+///   * DRAT ordering — every resolvent is logged *before* its parents are
+///     deleted, keeping each addition RUP;
+///   * learnt clauses mentioning an eliminated variable are deleted (they
+///     are implied, so deletion is always sound).
+///
+/// Syntactic pass: works on occurrence lists, leaves watches stale for the
+/// caller to rebuild.
+class Eliminator {
+ public:
+  explicit Eliminator(Solver& s) : s_(s) {}
+
+  /// One elimination round at level 0. Unit resolvents are appended to
+  /// `pending_units` for the caller to settle after the watch rebuild.
+  void run(LitVec& pending_units);
+
+ private:
+  bool try_eliminate(Var v, LitVec& pending_units);
+  void drop_learnts_of_eliminated();
+
+  Solver& s_;
+  std::vector<std::vector<CRef>> occs_;  ///< problem clauses, by literal
+  /// Variables with a pending unit resolvent. The unit is a live clause on
+  /// the variable that the occurrence lists cannot see (it is settled only
+  /// after the watch rebuild), so eliminating the variable would miss its
+  /// resolvents — skip it this round.
+  std::vector<char> unit_pending_;
+  std::int64_t budget_ = 0;
+  bool any_eliminated_ = false;
+};
+
+}  // namespace step::sat

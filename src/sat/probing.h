@@ -1,0 +1,49 @@
+#pragma once
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+class Solver;
+
+/// Failed-literal probing with lazy hyper-binary resolution and bounded
+/// transitive reduction of the binary implication graph.
+///
+/// Each probe assumes one literal at a temporary decision level and
+/// propagates:
+///   * a conflict makes the probe a *failed literal* — its negation is a
+///     level-0 unit (RUP, hence DRAT-loggable as an addition);
+///   * literals forced through a non-binary reason clause yield *hyper
+///     binaries* (probe → forced), each RUP against the clauses that did
+///     the propagating.
+///
+/// The closing pass deletes binary clauses whose implication edge is
+/// reproduced by a chain of other binaries (transitive reduction) — pure
+/// deletions, always proof- and model-safe.
+///
+/// Probing never removes variables, so it is assumption-safe without any
+/// freezing; the shared propagation budget (SolverOptions::probe_budget)
+/// bounds one round.
+class Prober {
+ public:
+  explicit Prober(Solver& s) : s_(s) {}
+
+  /// One probing round at level 0. Clears the solver's ok flag on
+  /// refutation; derived units are settled immediately (probing needs
+  /// consistent watches anyway).
+  void run();
+
+ private:
+  /// Probes `l`; returns false once the budget is exhausted.
+  bool probe(Lit l);
+  void transitive_reduction();
+  bool has_binary(Lit a, Lit b) const;
+
+  Solver& s_;
+  std::int64_t budget_ = 0;
+  // Transitive-reduction BFS scratch, indexed by literal.
+  std::vector<std::int32_t> seen_stamp_;
+  std::int32_t stamp_ = 0;
+};
+
+}  // namespace step::sat

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <vector>
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+/// Solution-reconstruction stack for the preprocessing tier.
+///
+/// Bounded variable elimination and equivalent-literal substitution remove
+/// variables from the clause database; a model of the reduced formula must
+/// be extended back to a model of the original one before it is handed to
+/// the caller. The stack records, in elimination order:
+///
+///   * substitution entries  `v := rep`  — v was replaced by an equivalent
+///     literal everywhere; its value is the representative's value;
+///   * elimination entries — v was resolved away; the entry stores every
+///     original clause in which v occurred (both polarities). Extension
+///     tries v = false and flips to true iff some stored clause is left
+///     unsatisfied (the resolvents added at elimination time guarantee the
+///     flip never breaks a ¬v-clause).
+///
+/// extend() walks the stack **in reverse**: a variable referenced by a
+/// stored clause can itself have been removed later, so its entry sits
+/// higher on the stack and is processed first — every non-target literal
+/// is assigned by the time its clause is evaluated.
+class ReconstructionStack {
+ public:
+  void push_substitution(Var v, Lit rep) {
+    entries_.push_back({v, rep, 0, 0});
+  }
+
+  /// Starts an elimination entry for `v`; follow with add_clause() calls.
+  void begin_elimination(Var v) {
+    entries_.push_back({v, kLitUndef, static_cast<std::uint32_t>(lits_.size()),
+                        static_cast<std::uint32_t>(lits_.size())});
+  }
+
+  /// Appends one original clause of the entry opened by begin_elimination().
+  void add_clause(std::span<const Lit> clause) {
+    for (Lit l : clause) lits_.push_back(l);
+    lits_.push_back(kLitUndef);  // clause separator
+    entries_.back().end = static_cast<std::uint32_t>(lits_.size());
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Extends a model of the reduced formula over the removed variables.
+  /// `model` is indexed by variable; removed variables may be kUndef on
+  /// entry and are assigned on exit.
+  void extend(std::vector<Lbool>& model) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->rep != kLitUndef) {  // substitution: copy the representative
+        Lbool v = model[var(it->rep)];
+        STEP_CHECK(v != Lbool::kUndef);
+        model[it->v] = v ^ sign(it->rep);
+        continue;
+      }
+      // Elimination: default false, flip iff a stored clause demands it.
+      model[it->v] = Lbool::kFalse;
+      for (std::uint32_t i = it->begin; i < it->end;) {
+        bool satisfied = false;
+        std::uint32_t j = i;
+        for (; lits_[j] != kLitUndef; ++j) {
+          const Lit l = lits_[j];
+          const Lbool val = model[var(l)];
+          STEP_CHECK(val != Lbool::kUndef);
+          if ((val ^ sign(l)) == Lbool::kTrue) satisfied = true;
+        }
+        if (!satisfied) {
+          model[it->v] = Lbool::kTrue;
+          break;
+        }
+        i = j + 1;
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Var v;
+    Lit rep;  ///< kLitUndef for elimination entries
+    std::uint32_t begin, end;  ///< clause window in lits_ (eliminations)
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<Lit> lits_;  ///< flattened clauses, kLitUndef-separated
+};
+
+}  // namespace step::sat

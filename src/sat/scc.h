@@ -1,0 +1,55 @@
+#pragma once
+
+#include "sat/types.h"
+
+namespace step::sat {
+
+class Solver;
+
+/// SCC-based equivalent-literal detection and substitution.
+///
+/// The binary clauses of the database form an implication graph (clause
+/// (a ∨ b) contributes edges ¬a→b and ¬b→a). Literals in the same
+/// strongly connected component are pairwise equivalent; each component
+/// elects one representative and every other member is rewritten to it in
+/// every clause, shrinking both the variable and the clause count. A
+/// component containing both x and ¬x refutes the formula.
+///
+/// Assumption safety: frozen variables are preferred as representatives
+/// and are never substituted away — at most their non-frozen co-members
+/// disappear. Every rewritten clause is DRAT-logged *before* any original
+/// is deleted, so each addition is RUP via the still-present equivalence
+/// binaries.
+///
+/// Runs at level 0 on settled watches (the implication edges are read from
+/// the solver's binary watch lists); clause rewriting leaves the watches
+/// stale, the caller rebuilds them.
+class EquivalenceReducer {
+ public:
+  explicit EquivalenceReducer(Solver& s) : s_(s) {}
+
+  /// One detection + substitution pass. Units produced by rewriting are
+  /// appended to `pending_units` for the caller to settle; on refutation
+  /// the solver's ok flag is cleared.
+  void run(LitVec& pending_units);
+
+ private:
+  void tarjan(Lit root);
+  void process_component(const LitVec& members);
+  void rewrite_clauses(LitVec& pending_units);
+
+  Solver& s_;
+  // Iterative Tarjan state, indexed by literal.
+  std::vector<std::int32_t> dfs_index_;
+  std::vector<std::int32_t> low_link_;
+  std::vector<char> on_stack_;
+  LitVec scc_stack_;
+  std::int32_t next_index_ = 0;
+  // Substitution map: sub_[v] is the literal replacing mk_lit(v), or
+  // kLitUndef when v keeps itself.
+  LitVec sub_;
+  std::vector<char> var_done_;  ///< component (and its mirror) processed
+  bool any_sub_ = false;
+};
+
+}  // namespace step::sat

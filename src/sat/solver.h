@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <initializer_list>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/timer.h"
 #include "sat/clause.h"
 #include "sat/heap.h"
 #include "sat/proof.h"
+#include "sat/reconstruction.h"
 #include "sat/types.h"
 
 namespace step::sat {
@@ -84,6 +86,31 @@ struct SolverOptions {
   std::int64_t vivify_limit = 10000;
   /// Only clauses up to this many literals are vivified.
   int vivify_max_size = 16;
+
+  // ---- preprocessing (runs inside the inprocessing rounds, plus once
+  // ---- before the first search; see docs/SOLVER.md § Preprocessing) ----
+  /// Bounded variable elimination (SatELite-style clause distribution).
+  /// Eliminated variables are resolved away and their values recovered via
+  /// the reconstruction stack; frozen variables are never touched.
+  bool elim = true;
+  /// SCC-based equivalent-literal detection over the binary implication
+  /// graph with representative substitution. Frozen variables are never
+  /// substituted away (but may serve as representatives).
+  bool scc = true;
+  /// Failed-literal probing with lazy hyper-binary resolution and bounded
+  /// transitive reduction of the binary implication graph.
+  bool probe = true;
+  /// Elimination keeps a variable when it would add more than this many
+  /// resolvents beyond the clauses it deletes (0 = never grow the DB).
+  int elim_grow = 0;
+  /// Variables occurring more often than this in *both* polarities are
+  /// skipped by elimination (the resolvent cross-product explodes).
+  int elim_occ_limit = 16;
+  /// Resolution-literal budget of one elimination round.
+  std::int64_t elim_budget = 400000;
+  /// Propagation budget of one probing round (shared with the transitive-
+  /// reduction walk).
+  std::int64_t probe_budget = 30000;
 
   // ---- proofs ----
   /// Record the resolution proof. Implies that learnt clauses are never
@@ -169,6 +196,24 @@ class Solver {
   /// encoder auxiliaries). The preference decays like any ordinary bump.
   void boost_var_activity(Var v, double factor = 1.0) { bump_var(v, factor); }
 
+  // ----- preprocessing safety ---------------------------------------------
+  /// Marks v untouchable by the preprocessing tier: never eliminated and
+  /// never substituted away. Freeze every variable that can ever appear in
+  /// an assumption, an interpolation partition label, or an incremental-
+  /// counter output. Assumption variables of each solve() are additionally
+  /// frozen automatically before any preprocessing runs, so one-shot
+  /// callers need no explicit calls; freeze up front whatever becomes an
+  /// assumption only in *later* solves.
+  void set_frozen(Var v) {
+    frozen_[v] = 1;
+    if (debug_models_) debug_trace_.push_back("f " + std::to_string(v));
+  }
+  bool is_frozen(Var v) const { return frozen_[v] != 0; }
+  /// True once v has been resolved away by bounded variable elimination.
+  bool is_eliminated(Var v) const { return var_state_[v] == 1; }
+  /// True once v has been replaced by an equivalent representative literal.
+  bool is_substituted(Var v) const { return var_state_[v] == 2; }
+
   struct Stats {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
@@ -189,12 +234,25 @@ class Solver {
     std::uint64_t strengthened_clauses = 0;
     std::uint64_t vivified_clauses = 0;
     std::uint64_t removed_lits = 0;  ///< via strengthening + vivification
+    // Preprocessing totals (BVE / equivalent literals / probing).
+    std::uint64_t eliminated_vars = 0;
+    std::uint64_t substituted_lits = 0;  ///< literal occurrences rewritten
+    std::uint64_t failed_literals = 0;
+    std::uint64_t hyper_binaries = 0;
+    std::uint64_t transitive_reductions = 0;  ///< redundant binaries deleted
 
     Stats& operator+=(const Stats& o);
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  // The preprocessing passes live in their own translation units
+  // (elimination.cpp, scc.cpp, probing.cpp) but operate directly on the
+  // solver's clause database and trail.
+  friend class Eliminator;
+  friend class EquivalenceReducer;
+  friend class Prober;
+
   struct Watcher {
     CRef cref;
     Lit blocker;
@@ -251,8 +309,9 @@ class Solver {
   void maybe_update_target_phase();
   void rephase();
 
-  // Inter-solve inprocessing.
+  // Inter-solve inprocessing + preprocessing.
   void inprocess();
+  void compact_clause_lists();
   void rebuild_watches();
   bool shrink_clause(CRef cr, const LitVec& new_lits, LitVec& pending_units);
   void mark_removed(CRef cr, bool learnt_list);
@@ -285,6 +344,18 @@ class Solver {
   LitVec assumptions_;
   int qhead_ = 0;
   bool ok_ = true;
+
+  // Preprocessing state.
+  std::vector<char> frozen_;     ///< never eliminated / substituted
+  std::vector<char> var_state_;  ///< 0 active, 1 eliminated, 2 substituted
+  ReconstructionStack reconstruction_;
+  // STEP_DEBUG_MODELS=1: audit every SAT answer against a verbatim copy of
+  // all clauses ever added, catching reconstruction bugs at the boundary.
+  bool debug_models_ = false;
+  std::vector<LitVec> debug_clauses_;
+  // Interaction trace for replaying an audit failure: "v n", "f v",
+  // "c <lits>", "s <assumptions>" lines.
+  std::vector<std::string> debug_trace_;
 
   // Decision heuristics.
   std::vector<double> activity_;
@@ -325,6 +396,10 @@ class Solver {
   std::uint64_t solve_calls_ = 0;
   std::uint64_t last_inprocess_solve_ = 0;
   std::uint64_t last_inprocess_conflicts_ = 0;
+  // Preprocessing-tier scheduling: the tier re-runs only after the problem
+  // database grew substantially since its last run (see inprocess()).
+  std::uint64_t clauses_added_since_preprocess_ = 0;
+  std::size_t last_preprocess_clauses_ = 0;
 
   Stats stats_;
 };

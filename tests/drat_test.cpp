@@ -59,7 +59,9 @@ Instance pigeonhole(int holes) {
 /// Solves in two incremental episodes (half the clauses, solve, rest,
 /// solve) so an inprocessing round runs mid-way with real deletions.
 Result solve_logged(const Instance& inst, Solver& s) {
-  for (int i = 0; i < inst.num_vars; ++i) s.new_var();
+  // The second episode re-adds clauses over every variable, so none may
+  // be eliminated or substituted by the first episode's preprocessing.
+  for (int i = 0; i < inst.num_vars; ++i) s.set_frozen(s.new_var());
   const std::size_t half = inst.clauses.size() / 2;
   bool alive = true;
   for (std::size_t c = 0; c < half && alive; ++c) {
@@ -146,6 +148,103 @@ TEST(Drat, SatRunsProduceValidDerivationLogs) {
   const DratCheckResult r = check_drat(inst.num_vars, inst.clauses, s.drat());
   EXPECT_TRUE(r.ok) << r.error;
   EXPECT_FALSE(r.proved_unsat);
+}
+
+/// Single-episode solve with nothing frozen: the forced first-solve
+/// preprocessing round gets free rein over the whole variable set.
+Result solve_logged_one_shot(const Instance& inst, Solver& s) {
+  for (int i = 0; i < inst.num_vars; ++i) s.new_var();
+  for (const LitVec& c : inst.clauses) {
+    if (!s.add_clause(c)) break;
+  }
+  return s.solve();
+}
+
+TEST(Drat, EliminationLinesRoundTrip) {
+  // Pigeonhole variables have one long positive and several binary
+  // negative occurrences — prime bounded-variable-elimination fodder.
+  // The resolvent additions and parent deletions must check in order.
+  const Instance inst = pigeonhole(4);
+  Solver s(drat_config());
+  ASSERT_EQ(solve_logged_one_shot(inst, s), Result::kUnsat);
+  EXPECT_GT(s.stats().eliminated_vars, 0u);
+  const DratCheckResult r = check_drat(inst.num_vars, inst.clauses, s.drat());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.proved_unsat);
+}
+
+TEST(Drat, SubstitutionLinesRoundTrip) {
+  // a ⇔ b via a binary implication cycle. Equivalence reduction rewrites
+  // every other occurrence of b to a; the rewritten clauses are logged as
+  // additions before the originals are deleted, and must replay that way.
+  Instance inst;
+  inst.num_vars = 4;
+  const Lit a = mk_lit(0), b = mk_lit(1), c = mk_lit(2), d = mk_lit(3);
+  inst.clauses = {{~a, b}, {a, ~b},        // a ⇔ b (binary 2-cycle)
+                  {a, c, d},  {~b, c, ~d},  // ternaries over b get their
+                  {b, ~c, d}};              // occurrences rewritten to a
+  Solver s(drat_config());
+  ASSERT_EQ(solve_logged_one_shot(inst, s), Result::kSat);
+  EXPECT_GT(s.stats().substituted_lits, 0u);
+  const DratCheckResult r = check_drat(inst.num_vars, inst.clauses, s.drat());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.proved_unsat);
+}
+
+TEST(Drat, HyperBinaryLinesRoundTrip) {
+  // Probing p propagates a and b through binaries and then q through the
+  // ternary reason (¬a ∨ ¬b ∨ q), yielding the hyper-binary (¬p ∨ q).
+  // The two binary antecedents are distinct, so no self-subsumption can
+  // shorten the ternary first. The instance stays satisfiable, so the
+  // trace must be a valid derivation log.
+  Instance inst;
+  inst.num_vars = 4;
+  const Lit p = mk_lit(0), a = mk_lit(1), b = mk_lit(2), q = mk_lit(3);
+  inst.clauses = {{~p, a}, {~p, b}, {~a, ~b, q}};
+  Solver s(drat_config());
+  ASSERT_EQ(solve_logged_one_shot(inst, s), Result::kSat);
+  EXPECT_GT(s.stats().hyper_binaries, 0u);
+  const DratCheckResult r = check_drat(inst.num_vars, inst.clauses, s.drat());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.proved_unsat);
+}
+
+TEST(Drat, PreprocessedRandomInstancesRoundTrip) {
+  // Random soak with nothing frozen: whatever mix of elimination,
+  // substitution, probing, and search a round happens to trigger, the
+  // combined trace must replay.
+  Rng rng(0xd2a7);
+  int unsat_checked = 0, sat_checked = 0;
+  std::uint64_t eliminated = 0;
+  for (int round = 0; round < 30; ++round) {
+    Instance inst;
+    inst.num_vars = rng.next_int(8, 14);
+    for (int c = 0; c < inst.num_vars * 4; ++c) {
+      LitVec cl;
+      const int width = rng.next_int(2, 3);
+      for (int j = 0; j < width; ++j) {
+        cl.push_back(
+            mk_lit(rng.next_int(0, inst.num_vars - 1), rng.next_bool()));
+      }
+      inst.clauses.push_back(cl);
+    }
+    SCOPED_TRACE(round);
+    Solver s(drat_config());
+    const Result res = solve_logged_one_shot(inst, s);
+    eliminated += s.stats().eliminated_vars;
+    const DratCheckResult r = check_drat(inst.num_vars, inst.clauses, s.drat());
+    ASSERT_TRUE(r.ok) << r.error;
+    if (res == Result::kUnsat) {
+      ASSERT_TRUE(r.proved_unsat);
+      ++unsat_checked;
+    } else {
+      ASSERT_FALSE(r.proved_unsat);
+      ++sat_checked;
+    }
+  }
+  EXPECT_GT(unsat_checked, 0);
+  EXPECT_GT(sat_checked, 0);
+  EXPECT_GT(eliminated, 0u) << "soak never exercised elimination";
 }
 
 TEST(Drat, CheckerRejectsBogusTraces) {

@@ -187,6 +187,10 @@ TEST(SatAssumptions, CoreItselfUnsat) {
 TEST(SatAssumptions, IncrementalSolvesAlternate) {
   Solver s;
   const Var a = s.new_var(), b = s.new_var();
+  // b is only assumed from the second solve on; freeze it up front so the
+  // first solve's preprocessing cannot remove it.
+  s.set_frozen(a);
+  s.set_frozen(b);
   s.add_clause({mk_lit(a), mk_lit(b)});
   for (int round = 0; round < 10; ++round) {
     const LitVec na{~mk_lit(a)};

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/rng.h"
 
@@ -109,7 +110,9 @@ TEST(SolverFuzz, ModernAgreesWithBaselineUnderAssumptions) {
     Solver modern(modern_config());
     Solver baseline(baseline_config());
     for (int i = 0; i < nv; ++i) {
-      modern.new_var();
+      // Any variable can be assumed or re-added in a later episode, so
+      // all of them must be frozen against preprocessing.
+      modern.set_frozen(modern.new_var());
       baseline.new_var();
     }
     std::vector<LitVec> clauses;
@@ -158,6 +161,129 @@ TEST(SolverFuzz, ModernAgreesWithBaselineUnderAssumptions) {
   EXPECT_GT(unsat_answers, 0u);
 }
 
+/// Modern defaults with one preprocessing technique toggled per config.
+SolverOptions prep_config(bool elim, bool scc, bool probe) {
+  SolverOptions o = modern_config();
+  o.elim = elim;
+  o.scc = scc;
+  o.probe = probe;
+  return o;
+}
+
+TEST(SolverFuzz, PreprocessingConfigsAgreeWithOracle) {
+  // Every technique individually off, everything on, everything off —
+  // each config must agree with the brute-force oracle, return models
+  // that satisfy the *original* clauses (reconstruction), and never
+  // touch a frozen variable.
+  struct Config {
+    const char* name;
+    bool elim, scc, probe;
+  };
+  constexpr Config kConfigs[] = {
+      {"full", true, true, true},       {"no_elim", false, true, true},
+      {"no_scc", true, false, true},    {"no_probe", true, true, false},
+      {"none", false, false, false},
+  };
+  Rng rng(0x5e11a7e);
+  std::uint64_t sat_answers = 0, unsat_answers = 0;
+
+  for (int round = 0; round < 50; ++round) {
+    const int nv = rng.next_int(6, 13);
+    std::vector<LitVec> clauses;
+    for (int c = 0; c < nv * 3; ++c) clauses.push_back(random_clause(nv, rng));
+    // Assumptions are drawn from a small frozen prefix; everything else
+    // is fair game for elimination and substitution.
+    const int n_frozen = rng.next_int(1, 3);
+
+    for (const Config& cfg : kConfigs) {
+      SCOPED_TRACE(cfg.name);
+      Solver s(prep_config(cfg.elim, cfg.scc, cfg.probe));
+      for (int i = 0; i < nv; ++i) s.new_var();
+      for (Var v = 0; v < n_frozen; ++v) s.set_frozen(v);
+      for (const LitVec& c : clauses) {
+        if (!s.add_clause(c)) break;
+      }
+      for (int solve = 0; solve < 3 && s.is_ok(); ++solve) {
+        LitVec assumptions;
+        for (Var v = 0; v < n_frozen; ++v) {
+          if (rng.next_bool()) assumptions.push_back(mk_lit(v, rng.next_bool()));
+        }
+        const Result r = s.solve(assumptions);
+        ASSERT_EQ(r == Result::kSat, oracle_sat(nv, clauses, assumptions))
+            << "round " << round << " solve " << solve
+            << ": oracle disagrees";
+        if (r == Result::kSat) {
+          ++sat_answers;
+          check_model(s, clauses, assumptions);  // reconstruction correct
+        } else {
+          ++unsat_answers;
+          check_core(s, assumptions);
+        }
+        for (Var v = 0; v < n_frozen; ++v) {
+          ASSERT_FALSE(s.is_eliminated(v)) << "frozen var eliminated";
+          ASSERT_FALSE(s.is_substituted(v)) << "frozen var substituted";
+        }
+      }
+    }
+  }
+  EXPECT_GT(sat_answers, 0u);
+  EXPECT_GT(unsat_answers, 0u);
+}
+
+TEST(SolverFuzz, PreprocessingRegressionInstances) {
+  // Two shrunk field failures of the probe+elim interplay, pinned under
+  // every preprocessing configuration.
+  //
+  // Instance 1 (UNSAT): probing derives failed-literal units after the
+  // inprocess sweep; elimination must not resolve over clauses still
+  // carrying the newly falsified literals — a resolvent watched on a
+  // false literal silently stops propagating.
+  //
+  // Instance 2 (SAT): elimination produces a *unit* resolvent on v, then
+  // eliminates v itself in the same round; the pending unit is a live
+  // clause on v that the occurrence lists cannot see, so v's resolvent
+  // set is incomplete and reconstruction returns a bogus model.
+  struct Instance {
+    std::vector<std::vector<int>> dimacs;
+    int nv;
+    bool sat;
+  };
+  const Instance kInstances[] = {
+      {{{-4, -2}, {-4, -3}, {4, 2, 3}, {-5, 1}, {-5, -4}, {5, -1, 4},
+        {-6, 2}, {-6, 5}, {6, -2, -5}, {-7, 1}, {-7, 2}, {7, -1, -2},
+        {-8, 2}, {-8, 7}, {8, -2, -7}, {-9, -6, -8}, {-9, 6, 8}, {9}},
+       9,
+       false},
+      {{{-5, 9, 4}, {-4, -1, 10}, {-2, 9, 10}, {-3, 4, 5}, {6, 2, 1},
+        {4, 4, 3}, {-3, -3, -10}, {3, -4, -10}, {-9, -3, -3}, {10, 2, -6}},
+       10,
+       true},
+  };
+  const bool kToggles[][3] = {{true, true, true},
+                              {false, true, true},
+                              {true, false, true},
+                              {true, true, false},
+                              {false, false, false}};
+  for (const Instance& inst : kInstances) {
+    std::vector<LitVec> clauses;
+    for (const auto& c : inst.dimacs) {
+      LitVec lits;
+      for (int d : c) lits.push_back(mk_lit(std::abs(d) - 1, d < 0));
+      clauses.push_back(lits);
+    }
+    for (const auto& t : kToggles) {
+      Solver s(prep_config(t[0], t[1], t[2]));
+      for (int i = 0; i < inst.nv; ++i) s.new_var();
+      for (const LitVec& c : clauses) {
+        if (!s.add_clause(c)) break;
+      }
+      const Result r = s.is_ok() ? s.solve() : Result::kUnsat;
+      ASSERT_EQ(r, inst.sat ? Result::kSat : Result::kUnsat);
+      if (r == Result::kSat) check_model(s, clauses, {});
+    }
+  }
+}
+
 TEST(SolverFuzz, InprocessingKeepsIncrementalAnswersStable) {
   // Pin the exact hazard inprocessing could introduce: clauses deleted or
   // strengthened between solves must never change answers under
@@ -169,7 +295,7 @@ TEST(SolverFuzz, InprocessingKeepsIncrementalAnswersStable) {
     Solver s(aggressive);
     Solver ref(baseline_config());
     for (int i = 0; i < nv; ++i) {
-      s.new_var();
+      s.set_frozen(s.new_var());  // assumptions range over every variable
       ref.new_var();
     }
     std::vector<LitVec> clauses;
