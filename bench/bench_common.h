@@ -256,6 +256,19 @@ inline void json_run_stats(JsonWriter& j, const core::CircuitRunResult& r) {
   j.kv("qbf_iterations", r.total_qbf_iterations());
   j.kv("abstraction_conflicts", r.total_abstraction_conflicts());
   j.kv("verification_conflicts", r.total_verification_conflicts());
+  // The per-reason outcome taxonomy (core/outcome.h): "ok" always appears,
+  // other reasons only when nonzero — artifact diffs then surface any new
+  // failure mode a perf change introduces.
+  const core::OutcomeCounts oc = r.outcome_counts();
+  j.key("outcomes");
+  j.begin_object();
+  for (int i = 0; i < core::kNumOutcomeReasons; ++i) {
+    const auto reason = static_cast<core::OutcomeReason>(i);
+    if (reason != core::OutcomeReason::kOk && oc.of(reason) == 0) continue;
+    j.kv(core::to_string(reason), oc.of(reason));
+  }
+  j.end_object();
+  j.kv("degraded", r.num_degraded());
 }
 
 /// Budgets scaled to the suite size (the paper: 6000 s per circuit, 4 s per

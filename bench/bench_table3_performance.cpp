@@ -544,6 +544,10 @@ int main(int argc, char** argv) {
       j.kv("failed_literals", res.stats.failed_literals);
       j.kv("hyper_binaries", res.stats.hyper_binaries);
       j.kv("transitive_reductions", res.stats.transitive_reductions);
+      // Solver-level outcome attribution (core/outcome.h taxonomy): how
+      // many kUnknown stops each budget kind caused.
+      j.kv("conflict_budget_stops", res.stats.conflict_budget_stops);
+      j.kv("deadline_stops", res.stats.deadline_stops);
       j.end_object();
     }
     j.end_object();

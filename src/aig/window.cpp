@@ -196,6 +196,7 @@ std::optional<Window> compute_window(const Aig& circuit, Lit root,
       if ((care_tt[p >> 6] >> (p & 63)) & 1ULL) continue;
       if (completions >= opts.max_sat_completions) {
         care_tt[p >> 6] |= 1ULL << (p & 63);  // unsettled: keep in care
+        win.care_overapprox = true;
         continue;
       }
       ++completions;
@@ -204,11 +205,12 @@ std::optional<Window> compute_window(const Aig& circuit, Lit root,
       }
       // The deadline cuts individual queries short; an unknown verdict
       // keeps the pattern in care, like budget exhaustion.
-      if (solver.solve_limited(assumptions, -1, deadline) ==
-          sat::Result::kUnsat) {
+      const sat::Result reach = solver.solve_limited(assumptions, -1, deadline);
+      if (reach == sat::Result::kUnsat) {
         ++sdc;
       } else {
         care_tt[p >> 6] |= 1ULL << (p & 63);
+        if (reach == sat::Result::kUnknown) win.care_overapprox = true;
       }
     }
     if (sdc == 0) continue;  // fully reachable cut — no don't-cares here

@@ -62,6 +62,11 @@ struct Window {
   std::uint64_t sdc_minterms = 0;
   int sim_reached = 0;      ///< patterns the pre-filter produced
   int sat_completions = 0;  ///< patterns settled by SAT afterwards
+  /// True when the SAT budget or the deadline left patterns unsettled and
+  /// they were conservatively kept in the care set. The window is still
+  /// sound — it merely forfeits don't-cares the exact computation would
+  /// have found.
+  bool care_overapprox = false;
 
   int n() const { return static_cast<int>(aig.num_inputs()); }
   bool has_sdc() const { return sdc_minterms > 0; }

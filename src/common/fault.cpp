@@ -1,0 +1,107 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+namespace step {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kExpire: return "expire";
+    case FaultKind::kAllocFail: return "alloc_fail";
+    case FaultKind::kAbort: return "abort";
+    case FaultKind::kVerifyFail: return "verify_fail";
+    case FaultKind::kIoError: return "io_error";
+  }
+  return "?";
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) return std::nullopt;
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  FaultPlan plan;
+  try {
+    plan.seed = std::stoull(spec.substr(0, c1));
+    plan.rate = std::stod(spec.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (plan.rate < 0.0 || plan.rate > 1.0) return std::nullopt;
+  if (c2 != std::string::npos) {
+    plan.expire = plan.alloc = plan.abort = plan.verify = plan.io = false;
+    for (std::size_t i = c2 + 1; i < spec.size(); ++i) {
+      switch (spec[i]) {
+        case 'e': plan.expire = true; break;
+        case 'a': plan.alloc = true; break;
+        case 'b': plan.abort = true; break;
+        case 'v': plan.verify = true; break;
+        case 'i': plan.io = true; break;
+        default: return std::nullopt;
+      }
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* spec = std::getenv("STEP_FAULTS");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+namespace {
+
+// splitmix64: the per-stream seeding must decorrelate consecutive PO
+// indices, and the per-poll draws must be cheap (one poll per deadline
+// check on the solver hot path).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultStream::FaultStream(const FaultPlan& plan, std::uint64_t stream_id)
+    : plan_(plan),
+      state_(splitmix64(plan.seed ^ splitmix64(stream_id))),
+      verify_state_(splitmix64(plan.seed ^ splitmix64(~stream_id))) {}
+
+std::uint64_t FaultStream::next_draw(std::uint64_t& state) {
+  state = splitmix64(state);
+  return state;
+}
+
+FaultKind FaultStream::poll() {
+  if (!plan_.enabled()) return FaultKind::kNone;
+  if (latched_ != 0) return static_cast<FaultKind>(latched_);
+  const double u =
+      static_cast<double>(next_draw(state_) >> 11) * 0x1.0p-53;
+  if (u >= plan_.rate) return FaultKind::kNone;
+  // A fault fires: pick the kind from the next draw, restricted to the
+  // enabled poll-point kinds (verify/io faults have their own sites).
+  FaultKind kinds[3];
+  int n = 0;
+  if (plan_.expire) kinds[n++] = FaultKind::kExpire;
+  if (plan_.alloc) kinds[n++] = FaultKind::kAllocFail;
+  if (plan_.abort) kinds[n++] = FaultKind::kAbort;
+  if (n == 0) return FaultKind::kNone;
+  const FaultKind k = kinds[next_draw(state_) % static_cast<std::uint64_t>(n)];
+  latched_ = static_cast<std::uint8_t>(k);
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return k;
+}
+
+bool FaultStream::fire_verification() {
+  if (!plan_.enabled() || !plan_.verify) return false;
+  const double u =
+      static_cast<double>(next_draw(verify_state_) >> 11) * 0x1.0p-53;
+  if (u >= plan_.rate) return false;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace step

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace step {
+
+/// Kinds of faults the injector can fire at a poll point.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kExpire,      ///< forced deadline expiry (generalizes force_expire_after_polls)
+  kAllocFail,   ///< simulated allocation failure -> treated like a memory trip
+  kAbort,       ///< forced solver/engine abort
+  kVerifyFail,  ///< simulated verification failure (result must be discarded)
+  kIoError,     ///< simulated reader failure (CLI entry point only)
+};
+
+const char* to_string(FaultKind k);
+
+/// Run-wide fault-injection configuration: a seed, a per-poll firing rate,
+/// and the enabled kinds. Parsed from `STEP_FAULTS=seed:rate[:kinds]` where
+/// `kinds` is a subset of "eabvi" (expire / alloc / abort / verify / io;
+/// default all of "eabv" — io faults fire before any cone exists and are
+/// only enabled explicitly). The plan itself is immutable and shared; each
+/// cone derives its own deterministic FaultStream from it.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double rate = 0.0;  ///< probability per poll in [0,1]
+  bool expire = true;
+  bool alloc = true;
+  bool abort = true;
+  bool verify = true;
+  bool io = false;
+
+  bool enabled() const { return rate > 0.0; }
+
+  /// Parses "seed:rate[:kinds]"; returns nullopt on malformed input.
+  static std::optional<FaultPlan> parse(const std::string& spec);
+  /// Reads STEP_FAULTS from the environment; nullopt when unset/invalid.
+  static std::optional<FaultPlan> from_env();
+};
+
+/// Deterministic per-cone fault schedule. The stream is seeded by
+/// hash(plan.seed, stream_id) where stream_id is the cone's PO index, so
+/// the schedule each cone sees is a pure function of (plan, cone) — never
+/// of thread interleaving — and 1-thread vs N-thread runs inject the same
+/// faults into the same cones. poll() is called from Deadline::expired()
+/// at every existing budget poll point (solver conflict checks, engine
+/// loop heads, window reachability queries), which is exactly the PR 5
+/// expiry seam generalized to more failure modes.
+class FaultStream {
+ public:
+  FaultStream() = default;
+  FaultStream(const FaultPlan& plan, std::uint64_t stream_id);
+
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Next fault decision at a deadline poll point. Once a fault fires the
+  /// stream keeps returning it (the cone is going down anyway and a stable
+  /// answer keeps re-polls idempotent).
+  FaultKind poll();
+
+  /// Fault decision at a verification site (decoupled from poll() so the
+  /// deadline path never consumes verification draws and vice versa).
+  bool fire_verification();
+
+  /// Faults fired so far (all kinds).
+  std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t next_draw(std::uint64_t& state);
+
+  FaultPlan plan_;
+  std::uint64_t state_ = 0;         ///< poll() PRNG state
+  std::uint64_t verify_state_ = 0;  ///< fire_verification() PRNG state
+  std::uint8_t latched_ = 0;        ///< first fired poll() kind, sticky
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace step

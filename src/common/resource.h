@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace step {
+
+class MemTracker;
+
+/// Per-run memory governor. Tracks the bytes of the dominant dynamic
+/// allocations (solver clause arenas, decomposition-cache entries) charged
+/// through per-cone MemTrackers, and enforces two caps:
+///
+///  - a *soft per-cone* cap (`soft_cone_bytes`): a cone whose own tracker
+///    exceeds it trips only that cone's deadline — the cone is abandoned
+///    cleanly (its solvers/arenas free on scope exit, the tracker refunds
+///    the governor) while sibling cones keep running;
+///  - a *hard per-run* cap (`hard_run_bytes`): once the run-wide total
+///    exceeds it, every tracker reports tripped, so all live cones wind
+///    down at their next poll instead of the process being OOM-killed.
+///
+/// Accounting is approximate by design (capacity of the clause arenas plus
+/// cache-entry estimates — the structures that actually blow up on hard
+/// cones); the point is a bounded, clean abandonment path, not malloc-level
+/// precision. All counters are atomics: charges come from worker threads.
+class ResourceGovernor {
+ public:
+  struct Options {
+    std::size_t soft_cone_bytes = 0;  ///< 0 = no per-cone cap
+    std::size_t hard_run_bytes = 0;   ///< 0 = no per-run cap
+  };
+
+  ResourceGovernor() = default;
+  explicit ResourceGovernor(Options opts) : opts_(opts) {}
+
+  const Options& options() const { return opts_; }
+
+  std::size_t run_bytes() const {
+    return run_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_run_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  bool over_hard_cap() const {
+    return opts_.hard_run_bytes != 0 && run_bytes() > opts_.hard_run_bytes;
+  }
+  /// Cones abandoned on a memory trip (soft or hard), for reporting.
+  std::uint64_t cones_tripped() const {
+    return cones_tripped_.load(std::memory_order_relaxed);
+  }
+  void note_cone_tripped() {
+    cones_tripped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MemTracker;
+  void charge(std::size_t bytes) {
+    const std::size_t now =
+        run_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void release(std::size_t bytes) {
+    run_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  Options opts_;
+  std::atomic<std::size_t> run_bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> cones_tripped_{0};
+};
+
+/// Per-cone allocation account. Instrumented allocators (ClauseArena,
+/// DecCache) charge growth here; the balance flows up into the governor's
+/// run-wide total and is refunded when the owning structure shrinks or the
+/// tracker dies — so abandoning a cone (solvers destruct) automatically
+/// returns its memory to the run budget. `tripped()` is what the cone's
+/// Deadline polls: it latches, so a cone over its cap stays condemned even
+/// if a refund later drops the balance back under.
+class MemTracker {
+ public:
+  explicit MemTracker(ResourceGovernor* governor = nullptr)
+      : governor_(governor),
+        soft_cap_(governor != nullptr ? governor->options().soft_cone_bytes
+                                      : 0) {}
+  MemTracker(const MemTracker&) = delete;
+  MemTracker& operator=(const MemTracker&) = delete;
+  ~MemTracker() {
+    if (governor_ != nullptr) {
+      governor_->release(bytes_.load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Overrides the governor's per-cone cap (standalone/test use).
+  void set_soft_cap(std::size_t bytes) { soft_cap_ = bytes; }
+
+  void charge(std::size_t bytes) {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (governor_ != nullptr) governor_->charge(bytes);
+  }
+  void release(std::size_t bytes) {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (governor_ != nullptr) governor_->release(bytes);
+  }
+
+  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  bool tripped() const {
+    if (tripped_.load(std::memory_order_relaxed)) return true;
+    const bool over = (soft_cap_ != 0 && bytes() > soft_cap_) ||
+                      (governor_ != nullptr && governor_->over_hard_cap());
+    if (over) {
+      tripped_.store(true, std::memory_order_relaxed);
+      if (governor_ != nullptr) governor_->note_cone_tripped();
+    }
+    return over;
+  }
+
+ private:
+  ResourceGovernor* governor_;
+  std::size_t soft_cap_;
+  std::atomic<std::size_t> bytes_{0};
+  mutable std::atomic<bool> tripped_{false};
+};
+
+}  // namespace step

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
+
+#include "common/fault.h"
+#include "common/resource.h"
 
 namespace step {
 
@@ -29,19 +33,103 @@ class Timer {
 
 /// Deadline helper: `Deadline d(2.5); ... if (d.expired()) ...`.
 /// A non-positive budget means "no deadline".
+///
+/// Every budget consumer already polls expired() at deterministic points
+/// (engine loop heads, solver conflict checks, window reachability
+/// queries), which makes this class the single interruption seam of the
+/// whole stack. Beyond the wall clock, expired() consults the optional
+/// attachments below, so the same poll points also observe memory-cap
+/// trips, injected faults, cancellation (SIGINT), and a parent deadline —
+/// with zero call-site changes. The *first* cause to fire is latched in
+/// trip(); callers classify it into the outcome taxonomy
+/// (core/outcome.h).
 class Deadline {
  public:
+  /// Why this deadline reports expiry. Kept cause-level (not policy-level)
+  /// so common/ stays below core/: core::reason_of() maps a Trip plus its
+  /// context (per-cone vs per-run deadline) onto an OutcomeReason.
+  enum class Trip : std::uint8_t {
+    kNone = 0,
+    kWall,           ///< wall-clock budget ran out
+    kForced,         ///< force_expire_after_polls test seam
+    kParent,         ///< an attached parent (per-run) deadline expired
+    kMem,            ///< attached MemTracker over a memory cap
+    kInjectedAlloc,  ///< injected allocation failure (FaultKind::kAllocFail)
+    kInjectedAbort,  ///< injected solver/engine abort (FaultKind::kAbort)
+    kInjectedExpire, ///< injected expiry (FaultKind::kExpire)
+    kCancelled,      ///< attached cancel flag set (SIGINT)
+  };
+
   explicit Deadline(double budget_s = 0.0) : budget_s_(budget_s) {}
 
-  bool enabled() const { return budget_s_ > 0.0 || polls_left_ >= 0; }
+  // The trip latch is atomic (the per-run deadline is polled by every
+  // worker); copying reproduces budget and latched state.
+  Deadline(const Deadline& o)
+      : budget_s_(o.budget_s_),
+        timer_(o.timer_),
+        polls_left_(o.polls_left_),
+        faults_(o.faults_),
+        mem_(o.mem_),
+        cancel_(o.cancel_),
+        parent_(o.parent_),
+        trip_(o.trip_.load(std::memory_order_relaxed)) {}
+  Deadline& operator=(const Deadline& o) {
+    budget_s_ = o.budget_s_;
+    timer_ = o.timer_;
+    polls_left_ = o.polls_left_;
+    faults_ = o.faults_;
+    mem_ = o.mem_;
+    cancel_ = o.cancel_;
+    parent_ = o.parent_;
+    trip_.store(o.trip_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  bool enabled() const {
+    return budget_s_ > 0.0 || polls_left_ >= 0 || faults_ != nullptr ||
+           mem_ != nullptr || cancel_ != nullptr || parent_ != nullptr;
+  }
+
   bool expired() const {
+    if (trip() != Trip::kNone) return true;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      record(Trip::kCancelled);
+      return true;
+    }
+    if (parent_ != nullptr && parent_->expired()) {
+      record(Trip::kParent);
+      return true;
+    }
+    if (mem_ != nullptr && mem_->tripped()) {
+      record(Trip::kMem);
+      return true;
+    }
+    if (faults_ != nullptr) {
+      switch (faults_->poll()) {
+        case FaultKind::kExpire: record(Trip::kInjectedExpire); return true;
+        case FaultKind::kAllocFail: record(Trip::kInjectedAlloc); return true;
+        case FaultKind::kAbort: record(Trip::kInjectedAbort); return true;
+        default: break;
+      }
+    }
     if (polls_left_ >= 0) {
-      if (polls_left_ == 0) return true;
+      if (polls_left_ == 0) {
+        record(Trip::kForced);
+        return true;
+      }
       --polls_left_;
       return false;
     }
-    return enabled() && timer_.elapsed_s() >= budget_s_;
+    if (budget_s_ > 0.0 && timer_.elapsed_s() >= budget_s_) {
+      record(Trip::kWall);
+      return true;
+    }
+    return false;
   }
+
+  /// First cause that made expired() return true; kNone until then.
+  Trip trip() const { return trip_.load(std::memory_order_relaxed); }
 
   /// Test seam: report expiry after exactly `polls` more expired() calls,
   /// independent of wall time. Deadline consumers poll at deterministic
@@ -50,18 +138,41 @@ class Deadline {
   /// budgets cannot do. Never used outside tests.
   void force_expire_after_polls(int polls) { polls_left_ = polls; }
 
+  /// Attachments: each expired() poll also checks the fault stream /
+  /// memory tracker / cancel flag / parent deadline. All observed objects
+  /// must outlive this deadline.
+  void attach_faults(FaultStream* faults) { faults_ = faults; }
+  void attach_mem(const MemTracker* mem) { mem_ = mem; }
+  void attach_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+  void attach_parent(const Deadline* parent) { parent_ = parent; }
+
   /// Seconds remaining; +infinity-ish large value when disabled.
   double remaining_s() const {
-    if (polls_left_ >= 0) return polls_left_ == 0 ? 0.0 : 1e30;
-    if (!enabled()) return 1e30;
-    double r = budget_s_ - timer_.elapsed_s();
+    if (trip() != Trip::kNone) return 0.0;
+    double r = 1e30;
+    if (parent_ != nullptr) r = parent_->remaining_s();
+    if (polls_left_ >= 0) return polls_left_ == 0 ? 0.0 : r;
+    if (budget_s_ > 0.0) {
+      const double own = budget_s_ - timer_.elapsed_s();
+      r = own < r ? own : r;
+    }
     return r > 0.0 ? r : 0.0;
   }
 
  private:
+  void record(Trip t) const {
+    Trip expect = Trip::kNone;
+    trip_.compare_exchange_strong(expect, t, std::memory_order_relaxed);
+  }
+
   double budget_s_;
   Timer timer_;
   mutable int polls_left_ = -1;
+  FaultStream* faults_ = nullptr;
+  const MemTracker* mem_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  const Deadline* parent_ = nullptr;
+  mutable std::atomic<Trip> trip_{Trip::kNone};
 };
 
 }  // namespace step

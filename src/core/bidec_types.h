@@ -7,6 +7,7 @@
 
 #include "aig/aig.h"
 #include "common/check.h"
+#include "core/outcome.h"
 
 namespace step::core {
 
@@ -101,11 +102,14 @@ struct PartitionSearchResult {
   /// True when the search exhausted the seed space, which proves
   /// non-decomposability whenever found == false.
   bool exhausted = false;
-  /// True when the deadline cut the search short: a validity check came
+  /// True when a budget cut the search short: a validity check came
   /// back unknown or the wall budget expired. Mutually exclusive with
   /// `exhausted` — a timed-out search proves nothing. Any partition still
   /// reported alongside was validated *before* the timeout.
   bool timed_out = false;
+  /// What cut the search short when `timed_out` (deadline cause or
+  /// conflict cap, via reason_of_unknown); kOk otherwise.
+  OutcomeReason reason = OutcomeReason::kOk;
   int sat_calls = 0;
 };
 

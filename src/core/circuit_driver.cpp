@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "aig/ops.h"
 #include "aig/support.h"
@@ -9,6 +10,24 @@
 #include "common/thread_pool.h"
 
 namespace step::core {
+
+namespace {
+
+// Degradation-ladder fallback order: each engine's cheaper neighbour
+// (QBF engines fall back to the MG bootstrap engine, MG to LJH, LJH to
+// nothing — its rung is the verbatim leaf / plain give-up).
+std::optional<Engine> cheaper_engine(Engine e) {
+  switch (e) {
+    case Engine::kQbfDisjoint:
+    case Engine::kQbfBalanced:
+    case Engine::kQbfCombined: return Engine::kMg;
+    case Engine::kMg: return Engine::kLjh;
+    case Engine::kLjh: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 int CircuitRunResult::num_decomposed() const {
   return static_cast<int>(
@@ -28,6 +47,23 @@ int CircuitRunResult::max_support() const {
   int m = 0;
   for (const PoOutcome& p : pos) m = std::max(m, p.support);
   return m;
+}
+
+OutcomeCounts CircuitRunResult::outcome_counts() const {
+  OutcomeCounts c;
+  for (const PoOutcome& p : pos) c.add(p.reason);
+  return c;
+}
+
+int CircuitRunResult::num_degraded() const {
+  return static_cast<int>(std::count_if(
+      pos.begin(), pos.end(), [](const PoOutcome& p) { return p.degraded; }));
+}
+
+OutcomeCounts CircuitResynthResult::outcome_counts() const {
+  OutcomeCounts c;
+  for (const PoResynthOutcome& p : pos) c.add(p.reason);
+  return c;
 }
 
 int CircuitRunResult::num_windows_built() const {
@@ -101,6 +137,9 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
 
   Timer total;
   Deadline circuit_deadline(circuit_budget_s);
+  // External cancellation (SIGINT) trips the circuit deadline: in-flight
+  // cones stop at their next poll, unfinished POs become kCircuitDeadline.
+  circuit_deadline.attach_cancel(par.cancel);
 
   // Candidate scan is a cheap structural walk over the shared circuit;
   // the cones themselves are extracted inside the jobs so only the cones
@@ -141,64 +180,150 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     if (circuit_deadline.expired()) {
       hit_budget.store(true, std::memory_order_relaxed);
       outcome.status = DecomposeStatus::kUnknown;
+      outcome.reason = reason_of(circuit_deadline.trip(), /*run_level=*/true);
       return;
     }
 
-    // Respect both the per-PO budget and the remaining circuit budget.
-    // Each call owns its private cone and Solver/CEGAR contexts, so
-    // workers share nothing but the read-only circuit and the deadline.
     Timer po_timer;
-    DecomposeOptions po_opts = opts;
-    po_opts.po_budget_s =
-        std::min(opts.po_budget_s, circuit_deadline.remaining_s());
 
-    // DC mode: decompose the windowed function on its care set first; any
-    // failure falls back to the exact cone, so the DC path is monotone in
-    // the number of decomposed POs.
-    bool done = false;
-    if (opts.use_dont_cares) {
-      if (std::optional<aig::Window> win =
-              aig::compute_window(circuit, circuit.output(job.po), opts.window,
-                                  &circuit_deadline)) {
-        outcome.window_built = true;
-        outcome.window_inputs = win->n();
-        outcome.window_sdc_minterms = win->sdc_minterms;
-        outcome.care_fraction = win->care_fraction();
-        outcome.window_sat_completions = win->sat_completions;
+    // Per-cone fault stream: a pure function of (plan, PO index), so the
+    // injected schedule is identical across thread counts.
+    std::optional<FaultStream> faults;
+    if (par.faults != nullptr && par.faults->enabled()) {
+      faults.emplace(*par.faults, job.po);
+    }
 
-        const CareSet care = care_of_window(*win);
-        const Cone wcone{win->aig, win->root};
-        const DecomposeResult r = BiDecomposer(po_opts).decompose(wcone, &care);
-        absorb_costs(outcome, r);
-        if (r.status == DecomposeStatus::kDecomposed) {
-          // Verify the resynthesized node against the window before it
-          // counts: composed with the cut logic it must equal the
-          // original root on every producible input.
-          const bool spliceable =
-              !r.functions.has_value() ||
-              aig::verify_window_replacement(circuit, circuit.output(job.po),
-                                             *win, r.functions->aig,
-                                             r.functions->combined);
-          if (spliceable) {
-            outcome.status = r.status;
-            outcome.metrics = r.metrics;
-            outcome.proven_optimal = r.proven_optimal;
-            outcome.used_window = true;
-            done = true;
+    // One full attempt at this cone: in DC mode the windowed function on
+    // its care set first (SAT-verified against the circuit before it
+    // counts), then the exact cone. Each attempt runs under its own
+    // memory account, so an abandoned attempt refunds the run budget
+    // before the next rung starts, and workers share nothing but the
+    // read-only circuit, the deadline, and the governor's atomics.
+    // Returns kOk on a conclusion (decomposed or proven not
+    // decomposable), otherwise the typed failure reason.
+    auto attempt = [&](DecomposeOptions aopts, bool try_window) {
+      MemTracker mem(par.governor);
+      if (par.governor != nullptr) aopts.mem = &mem;
+      if (faults) aopts.faults = &*faults;
+      aopts.run_deadline = &circuit_deadline;
+      aopts.po_budget_s =
+          std::min(aopts.po_budget_s, circuit_deadline.remaining_s());
+
+      if (try_window) {
+        if (std::optional<aig::Window> win =
+                aig::compute_window(circuit, circuit.output(job.po),
+                                    aopts.window, &circuit_deadline)) {
+          outcome.window_built = true;
+          outcome.window_inputs = win->n();
+          outcome.window_sdc_minterms = win->sdc_minterms;
+          outcome.care_fraction = win->care_fraction();
+          outcome.window_sat_completions = win->sat_completions;
+          outcome.care_overapprox = win->care_overapprox;
+
+          const CareSet care = care_of_window(*win);
+          const Cone wcone{win->aig, win->root};
+          const DecomposeResult r =
+              BiDecomposer(aopts).decompose(wcone, &care);
+          absorb_costs(outcome, r);
+          if (r.status == DecomposeStatus::kDecomposed) {
+            // Verify the resynthesized node against the window before it
+            // counts: composed with the cut logic it must equal the
+            // original root on every producible input. An injected flip
+            // discards the window result exactly like a real mismatch —
+            // sound, because the exact attempt below still runs.
+            bool spliceable =
+                !r.functions.has_value() ||
+                aig::verify_window_replacement(circuit, circuit.output(job.po),
+                                               *win, r.functions->aig,
+                                               r.functions->combined);
+            if (spliceable && faults && faults->fire_verification()) {
+              spliceable = false;
+            }
+            if (spliceable) {
+              outcome.status = r.status;
+              outcome.metrics = r.metrics;
+              outcome.proven_optimal = r.proven_optimal;
+              outcome.used_window = true;
+              return OutcomeReason::kOk;
+            }
           }
         }
       }
-    }
 
-    if (!done) {
       const Cone cone = extract_po_cone(circuit, job.po);
-      po_opts.po_budget_s =
-          std::min(opts.po_budget_s, circuit_deadline.remaining_s());
-      const DecomposeResult r = BiDecomposer(po_opts).decompose(cone);
-      outcome.status = r.status;
-      outcome.metrics = r.metrics;
-      outcome.proven_optimal = r.proven_optimal;
+      aopts.po_budget_s =
+          std::min(aopts.po_budget_s, circuit_deadline.remaining_s());
+      const DecomposeResult r = BiDecomposer(aopts).decompose(cone);
       absorb_costs(outcome, r);
+      outcome.status = r.status;
+      if (r.status != DecomposeStatus::kUnknown) {
+        outcome.metrics = r.metrics;
+        outcome.proven_optimal = r.proven_optimal;
+        return OutcomeReason::kOk;
+      }
+      return r.reason == OutcomeReason::kOk ? OutcomeReason::kEngineDeadline
+                                            : r.reason;
+    };
+
+    const OutcomeReason why = attempt(opts, opts.use_dont_cares);
+    if (why != OutcomeReason::kOk) {
+      // The reported reason stays the primary attempt's: the root cause,
+      // even when ladder rungs below fail for other (cheaper) reasons.
+      outcome.reason = why;
+
+      // Degradation ladder (opt-in): retry an over-budget or over-memory
+      // cone under progressively cheaper configurations, each on a
+      // shrinking slice of the per-PO budget, with extraction + SAT
+      // verification forced on — a degraded answer can be worse quality,
+      // never wrong. Circuit-level failures are not retried: the run is
+      // out of budget, not the cone.
+      if (par.degrade && (why == OutcomeReason::kEngineDeadline ||
+                          why == OutcomeReason::kMemLimit)) {
+        struct Rung {
+          Engine engine;
+          double budget_frac;
+          bool window;  ///< keep DC mode, with tightened window caps
+        };
+        std::vector<Rung> rungs;
+        if (opts.use_dont_cares && why == OutcomeReason::kMemLimit) {
+          // Smaller window first: the 2^width care enumeration and the
+          // windowed relaxation matrix are DC mode's memory hogs.
+          rungs.push_back({opts.engine, 0.5, true});
+        }
+        if (opts.use_dont_cares) {
+          rungs.push_back({opts.engine, 0.5, false});
+        }
+        if (std::optional<Engine> ch = cheaper_engine(opts.engine)) {
+          rungs.push_back({*ch, 0.25, false});
+        }
+
+        int rung_idx = 0;
+        for (const Rung& rung : rungs) {
+          ++rung_idx;
+          if (circuit_deadline.expired()) break;
+          DecomposeOptions ropts = opts;
+          ropts.engine = rung.engine;
+          ropts.po_budget_s = opts.po_budget_s * rung.budget_frac;
+          ropts.use_dont_cares = rung.window;
+          if (rung.window) {
+            ropts.window.max_inputs = std::min(ropts.window.max_inputs, 6);
+            ropts.window.max_sat_completions =
+                std::max(1, ropts.window.max_sat_completions / 2);
+          }
+          ropts.extract = true;
+          ropts.verify = true;
+          if (attempt(ropts, rung.window) == OutcomeReason::kOk) {
+            outcome.degraded = true;
+            outcome.ladder_rung = rung_idx;
+            outcome.reason = OutcomeReason::kOk;
+            break;
+          }
+        }
+      }
+      if (outcome.status == DecomposeStatus::kUnknown &&
+          outcome.reason == OutcomeReason::kCircuitDeadline) {
+        hit_budget.store(true, std::memory_order_relaxed);
+      }
     }
     outcome.cpu_s = po_timer.elapsed_s();
   };
@@ -238,6 +363,7 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
 
   Timer total;
   Deadline circuit_deadline(circuit_budget_s);
+  circuit_deadline.attach_cancel(par.cancel);
   const DecCacheStats cache_before =
       opts.cache != nullptr ? opts.cache->stats() : DecCacheStats{};
 
@@ -262,6 +388,20 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
     out.depth_before = cone_depth(circuit, circuit.output(po));
     job_stats[po].pos_processed = 1;
 
+    // Per-cone governance: deterministic fault stream keyed by PO index
+    // and a memory account every per-node solver charges. A trip degrades
+    // sub-cones to verbatim leaves — the tree stays complete — and the
+    // ladder below may rebuild the whole cone cheaper.
+    std::optional<FaultStream> faults;
+    if (par.faults != nullptr && par.faults->enabled()) {
+      faults.emplace(*par.faults, po);
+    }
+    MemTracker mem(par.governor);
+    SynthesisOptions sopts = opts;
+    if (par.governor != nullptr) sopts.per_node.mem = &mem;
+    if (faults) sopts.per_node.faults = &*faults;
+    sopts.per_node.run_deadline = &circuit_deadline;
+
     // DC mode: rewrite the windowed function on its care set; the result
     // is SAT-verified against the window — composed with the cut logic it
     // must equal the original PO everywhere — *before* it may be spliced,
@@ -271,15 +411,15 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
     std::shared_ptr<const DecTree> windowed_tree;
     std::unique_ptr<aig::Window> window;
     SynthesisStats wstats;
-    if (opts.use_dont_cares) {
+    if (sopts.use_dont_cares) {
       if (std::optional<aig::Window> win =
               aig::compute_window(circuit, circuit.output(po),
-                                  opts.per_node.window, &circuit_deadline)) {
+                                  sopts.per_node.window, &circuit_deadline)) {
         const CareSet care = care_of_window(*win);
         const Cone wcone{win->aig, win->root};
         wstats.pos_processed = 1;
         auto tree =
-            decompose_to_tree(wcone, opts, &wstats, &circuit_deadline, &care);
+            decompose_to_tree(wcone, sopts, &wstats, &circuit_deadline, &care);
         aig::Aig repl;
         std::vector<aig::Lit> rin;
         for (int i = 0; i < wcone.n(); ++i) rin.push_back(repl.add_input());
@@ -293,7 +433,8 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
     }
     SynthesisStats estats;
     estats.pos_processed = 1;
-    auto exact_tree = decompose_to_tree(cone, opts, &estats, &circuit_deadline);
+    auto exact_tree =
+        decompose_to_tree(cone, sopts, &estats, &circuit_deadline);
     bool use_window = false;
     if (windowed_tree != nullptr) {
       // AND gates the splice keeps alive below the cut — an upper bound:
@@ -323,6 +464,47 @@ CircuitResynthResult run_circuit_resynth(const aig::Aig& circuit,
       job_stats[po] = estats;
       result.trees[po] = std::move(exact_tree);
       if (verify) out.verified = tree_equivalent(cone, *result.trees[po]);
+    }
+    // An injected verification flip demotes the PO to unverified: the
+    // assembly keeps the tree (it is complete either way) but
+    // all_verified faithfully reports the failure.
+    if (verify && out.verified && faults && faults->fire_verification()) {
+      out.verified = false;
+      out.reason = OutcomeReason::kVerificationFailed;
+    }
+
+    // Classify what (if anything) degraded this PO's tree, and ladder a
+    // memory-tripped cone: rebuild with the cheaper engine and DC off
+    // under a fresh account. A rung that trips again still yields a
+    // complete tree — mem trips degrade sub-cones to verbatim leaves,
+    // they never corrupt — so the bottom rung is implicit.
+    if (mem.tripped()) {
+      out.reason = OutcomeReason::kMemLimit;
+      if (par.degrade) {
+        if (std::optional<Engine> ch = cheaper_engine(opts.engine)) {
+          SynthesisOptions ropts = sopts;
+          ropts.engine = *ch;
+          ropts.use_dont_cares = false;
+          MemTracker rmem(par.governor);
+          ropts.per_node.mem = par.governor != nullptr ? &rmem : nullptr;
+          SynthesisStats rstats;
+          rstats.pos_processed = 1;
+          auto rtree =
+              decompose_to_tree(cone, ropts, &rstats, &circuit_deadline);
+          job_stats[po] = rstats;
+          result.trees[po] = std::move(rtree);
+          job_windows[po].reset();
+          out.verified =
+              verify ? tree_equivalent(cone, *result.trees[po]) : false;
+          out.degraded = true;
+        }
+      }
+    } else if (out.reason == OutcomeReason::kOk &&
+               circuit_deadline.expired()) {
+      out.reason = reason_of(circuit_deadline.trip(), /*run_level=*/true);
+    } else if (out.reason == OutcomeReason::kOk && faults &&
+               faults->fired() > 0) {
+      out.reason = OutcomeReason::kInjectedFault;
     }
     out.tree = result.trees[po]->stats();
     out.cpu_s = po_timer.elapsed_s();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,13 @@ struct PoOutcome {
   int po_index = 0;
   int support = 0;
   DecomposeStatus status = DecomposeStatus::kUnknown;
+  /// Why this PO reached no conclusion (kOk when status != kUnknown).
+  OutcomeReason reason = OutcomeReason::kOk;
+  /// Degradation-ladder accounting: a degraded PO concluded on a cheaper
+  /// retry (rung >= 1) after the primary attempt (rung 0) ran out of
+  /// budget or memory. Degraded results are SAT-verified like any other.
+  bool degraded = false;
+  int ladder_rung = 0;
   Metrics metrics;
   bool proven_optimal = false;
   double cpu_s = 0.0;
@@ -31,6 +39,7 @@ struct PoOutcome {
   std::uint64_t window_sdc_minterms = 0;
   double care_fraction = 1.0;
   int window_sat_completions = 0;
+  bool care_overapprox = false;  ///< window care set over-approximated
 };
 
 /// One engine applied to every decomposable-candidate PO of a circuit —
@@ -46,6 +55,11 @@ struct CircuitRunResult {
   int num_decomposed() const;
   int num_proven_optimal() const;
   int max_support() const;  ///< the paper's #InM
+
+  /// Per-reason tally over `pos` — derived, so it aggregates identically
+  /// regardless of thread count or completion order.
+  OutcomeCounts outcome_counts() const;
+  int num_degraded() const;  ///< POs concluded by the degradation ladder
 
   /// Don't-care aggregates (all zero outside DC mode; derived from `pos`,
   /// so parallel runs report exactly the sequential numbers).
@@ -75,6 +89,27 @@ struct ParallelDriverOptions {
   /// calling thread (the reference sequential path); 0 or negative = one
   /// worker per hardware thread.
   int num_threads = 1;
+  /// Run-level memory governor (non-owning): every cone charges a
+  /// per-cone account against it; a cone blowing its soft cap — or the
+  /// run blowing the hard cap — is abandoned cleanly with
+  /// OutcomeReason::kMemLimit while siblings keep running.
+  ResourceGovernor* governor = nullptr;
+  /// Fault-injection plan (non-owning, testing). Each PO derives a
+  /// deterministic stream from (plan.seed, po_index), so injected
+  /// failures are identical across thread counts.
+  const FaultPlan* faults = nullptr;
+  /// External cancellation flag (e.g. a SIGINT handler). Once set, the
+  /// circuit deadline trips: in-flight cones stop at their next poll and
+  /// every unfinished PO is reported as kCircuitDeadline.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-cone degradation ladder: a cone failing with engine_deadline or
+  /// mem_limit is retried under progressively cheaper configurations
+  /// (window off / smaller window / cheaper engine), each on a shrinking
+  /// slice of the per-PO budget, with extraction + SAT verification
+  /// forced on — a degraded answer can be worse, never wrong. Off by
+  /// default so paper-faithful benchmark runs report first-attempt
+  /// engine quality.
+  bool degrade = false;
 };
 
 /// Runs one engine over all POs of `circuit`. `circuit_budget_s` mirrors
@@ -124,6 +159,11 @@ struct PoResynthOutcome {
   int depth_before = 0;
   int depth_after = 0;
   bool verified = false;  ///< SAT miter tree vs. original cone (when requested)
+  /// Why this PO's tree is degraded (contains budget/mem-forced verbatim
+  /// leaves); kOk when nothing interfered. The tree itself is complete
+  /// and equivalent either way.
+  OutcomeReason reason = OutcomeReason::kOk;
+  bool degraded = false;  ///< rebuilt on the ladder after a mem trip
   double cpu_s = 0.0;
 };
 
@@ -140,6 +180,10 @@ struct CircuitResynthResult {
   bool all_verified = false; ///< meaningful only when verification ran
   bool hit_circuit_budget = false;
   double total_cpu_s = 0.0;
+
+  /// Per-reason tally over `pos` (reasons name degradation causes here —
+  /// the netlist is complete and equivalent regardless).
+  OutcomeCounts outcome_counts() const;
 };
 
 /// Runs recursive bi-decomposition over all POs of `circuit`, fanning the

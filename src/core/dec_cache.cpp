@@ -256,11 +256,33 @@ std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
   return std::nullopt;
 }
 
+void DecCache::set_mem_tracker(MemTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mem_tracker_ != nullptr && charged_bytes_ > 0) {
+    mem_tracker_->release(charged_bytes_);
+    charged_bytes_ = 0;
+  }
+  mem_tracker_ = tracker;
+}
+
 void DecCache::insert(const Cone& cone, const DecCacheKey& key, DecTree tree) {
   STEP_CHECK(key.n == cone.n());
   auto shared = std::make_shared<const DecTree>(std::move(tree));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.insertions;
+  if (mem_tracker_ != nullptr) {
+    // Entry-size estimate: the tree nodes plus the key material (exact
+    // entries keep a truth table, semantic ones a whole cone AIG).
+    std::size_t bytes = sizeof(DecTreeNode) * shared->nodes.size() + 128;
+    if (key.exact) {
+      bytes += key.canon_tt.size() * sizeof(std::uint64_t);
+    } else {
+      bytes += cone.aig.num_nodes() * 16 +
+               key.input_sigs.size() * sizeof(std::uint64_t);
+    }
+    mem_tracker_->charge(bytes);
+    charged_bytes_ += bytes;
+  }
   if (key.exact) {
     // First insertion per NPN class wins; concurrent duplicates are
     // dropped (both trees are correct, keeping one is enough).
@@ -289,6 +311,10 @@ void DecCache::clear() {
   npn_map_.clear();
   sig_map_.clear();
   stats_ = DecCacheStats{};
+  if (mem_tracker_ != nullptr && charged_bytes_ > 0) {
+    mem_tracker_->release(charged_bytes_);
+    charged_bytes_ = 0;
+  }
 }
 
 }  // namespace step::core

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/resource.h"
 #include "core/dec_tree.h"
 #include "core/npn.h"
 
@@ -97,6 +98,11 @@ class DecCache {
   std::size_t size() const;
   void clear();
 
+  /// Resource-governor hook: insertions charge an entry-size estimate to
+  /// `tracker` (the *run* account — the cache is shared across cones);
+  /// clear() refunds it. The tracker must outlive the cache's last use.
+  void set_mem_tracker(MemTracker* tracker);
+
  private:
   struct TtKey {
     int n = 0;
@@ -136,6 +142,8 @@ class DecCache {
   std::unordered_map<TtKey, NpnEntry, TtKeyHash> npn_map_;
   std::unordered_map<std::uint64_t, std::vector<SigEntry>> sig_map_;
   DecCacheStats stats_;
+  MemTracker* mem_tracker_ = nullptr;  ///< guarded by mu_
+  std::size_t charged_bytes_ = 0;      ///< guarded by mu_
 };
 
 }  // namespace step::core

@@ -8,6 +8,13 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
                                         const CareSet* care) const {
   Timer timer;
   Deadline deadline(opts_.po_budget_s);
+  // The per-PO deadline is the single interruption seam: chaining the
+  // run-level deadline, the memory account, and the fault stream onto it
+  // turns every existing poll point in the engines into a
+  // cancellation/mem-cap/fault trip point with no callsite changes.
+  deadline.attach_parent(opts_.run_deadline);
+  deadline.attach_mem(opts_.mem);
+  deadline.attach_faults(opts_.faults);
   DecomposeResult res;
   if (care_is_trivial(care)) care = nullptr;
 
@@ -50,8 +57,24 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
     if (opts_.extract) {
       res.functions = extract_functions(cone, opts_.op, res.partition, care);
       if (opts_.verify) {
-        res.verified = verify_decomposition(cone, *res.functions, care);
-        STEP_CHECK(res.verified);
+        bool ok = verify_decomposition(cone, *res.functions, care);
+        // An injected verification flip is handled exactly like a real
+        // mismatch, which is why injecting it is sound: the result below
+        // is discarded either way.
+        if (ok && opts_.faults != nullptr && opts_.faults->fire_verification())
+          ok = false;
+        res.verified = ok;
+        if (!ok) {
+          // Never return a wrong answer: a decomposition that fails its
+          // SAT verification is discarded wholesale and reported as a
+          // classified failure, not trusted because the search found it.
+          res.functions.reset();
+          res.partition = Partition{};
+          res.metrics = Metrics{};
+          res.proven_optimal = false;
+          res.status = DecomposeStatus::kUnknown;
+          res.reason = OutcomeReason::kVerificationFailed;
+        }
       }
     }
   };
@@ -66,6 +89,7 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
       } else {
         res.status = r.exhausted ? DecomposeStatus::kNotDecomposable
                                  : DecomposeStatus::kUnknown;
+        res.reason = r.reason;
       }
       break;
     }
@@ -77,6 +101,7 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
       } else {
         res.status = r.exhausted ? DecomposeStatus::kNotDecomposable
                                  : DecomposeStatus::kUnknown;
+        res.reason = r.reason;
       }
       break;
     }
@@ -119,6 +144,7 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
           break;
         case OptimumResult::Outcome::kUnknown:
           res.status = DecomposeStatus::kUnknown;
+          res.reason = r.reason;
           break;
       }
       break;
@@ -127,6 +153,27 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
 
   res.sat_calls = rs.sat_calls();
   res.solver_stats += rs.solver().stats();
+
+  // Classification safety net + refinement. Any kUnknown leaves with a
+  // typed reason: engines that could not name one get the deadline's
+  // verdict (tripped cause, else a configured search/solver budget). A
+  // per-call engine deadline is refined to kConflictBudget when the
+  // solver stats show only conflict-cap stops — the wall never actually
+  // cut a solve short.
+  if (res.status == DecomposeStatus::kUnknown) {
+    if (res.reason == OutcomeReason::kOk) {
+      res.reason = reason_of_unknown(&deadline);
+    }
+    if (res.reason == OutcomeReason::kEngineDeadline &&
+        deadline.trip() == Deadline::Trip::kNone &&
+        res.solver_stats.conflict_budget_stops > 0 &&
+        res.solver_stats.deadline_stops == 0) {
+      res.reason = OutcomeReason::kConflictBudget;
+    }
+  } else {
+    res.reason = OutcomeReason::kOk;
+  }
+
   res.cpu_s = timer.elapsed_s();
   return res;
 }
@@ -134,7 +181,8 @@ DecomposeResult BiDecomposer::decompose(const Cone& cone_in,
 DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
                                          const Partition& partition,
                                          bool extract, bool verify,
-                                         const CareSet* care) {
+                                         const CareSet* care,
+                                         FaultStream* faults) {
   Timer timer;
   DecomposeResult res;
   STEP_CHECK(partition.size() == cone.n());
@@ -153,8 +201,18 @@ DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
   if (extract) {
     res.functions = extract_functions(cone, op, partition, care);
     if (verify) {
-      res.verified = verify_decomposition(cone, *res.functions, care);
-      STEP_CHECK(res.verified);
+      bool ok = verify_decomposition(cone, *res.functions, care);
+      if (ok && faults != nullptr && faults->fire_verification()) ok = false;
+      res.verified = ok;
+      if (!ok) {
+        // Same contract as BiDecomposer::decompose: an unverified result
+        // is discarded, never returned.
+        res.functions.reset();
+        res.partition = Partition{};
+        res.metrics = Metrics{};
+        res.status = DecomposeStatus::kUnknown;
+        res.reason = OutcomeReason::kVerificationFailed;
+      }
     }
   }
   res.cpu_s = timer.elapsed_s();

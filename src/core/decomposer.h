@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "common/fault.h"
+#include "common/resource.h"
 #include "common/timer.h"
 #include "core/extract.h"
 #include "core/ljh.h"
@@ -70,6 +72,18 @@ struct DecomposeOptions {
   bool use_dont_cares = false;
   /// Window caps (cut depth/width, simulation words, SAT completions).
   aig::WindowOptions window;
+  /// Resource-governance attachments (all optional, all non-owning; the
+  /// circuit drivers wire them per cone). They hook into the per-PO
+  /// deadline's poll seam, so every existing deadline check in the
+  /// engines doubles as a memory/fault/cancellation trip point:
+  ///  - `mem`: per-cone memory account — a tripped tracker aborts the
+  ///    cone with OutcomeReason::kMemLimit;
+  ///  - `faults`: deterministic fault-injection stream (testing);
+  ///  - `run_deadline`: run-level deadline/cancellation the per-PO
+  ///    deadline chains to (OutcomeReason::kCircuitDeadline).
+  MemTracker* mem = nullptr;
+  FaultStream* faults = nullptr;
+  const Deadline* run_deadline = nullptr;
 };
 
 enum class DecomposeStatus : std::uint8_t {
@@ -80,6 +94,11 @@ enum class DecomposeStatus : std::uint8_t {
 
 struct DecomposeResult {
   DecomposeStatus status = DecomposeStatus::kUnknown;
+  /// Why no conclusion was reached (kOk when status != kUnknown). A
+  /// result that fails SAT verification — injected or real — is discarded
+  /// and reported here as kVerificationFailed, never returned as an
+  /// unverified "success".
+  OutcomeReason reason = OutcomeReason::kOk;
   Partition partition;
   Metrics metrics;
   /// QBF engines only: optimum proven for the engine's target metric.
@@ -105,7 +124,15 @@ struct DecomposeResult {
 /// paper's experiments and of this library's public API.
 class BiDecomposer {
  public:
-  explicit BiDecomposer(DecomposeOptions opts = {}) : opts_(opts) {}
+  explicit BiDecomposer(DecomposeOptions opts = {}) : opts_(opts) {
+    // The cone's memory account meters every solver this call builds:
+    // engines construct their relaxation/LJH/CEGAR solvers from
+    // `opts_.sat`, so threading the tracker through it here charges all
+    // clause arenas without per-engine plumbing.
+    if (opts_.mem != nullptr && opts_.sat.mem == nullptr) {
+      opts_.sat.mem = opts_.mem;
+    }
+  }
 
   const DecomposeOptions& options() const { return opts_; }
 
@@ -129,6 +156,7 @@ DecomposeResult decompose_with_partition(const Cone& cone, GateOp op,
                                          const Partition& partition,
                                          bool extract = true,
                                          bool verify = true,
-                                         const CareSet* care = nullptr);
+                                         const CareSet* care = nullptr,
+                                         FaultStream* faults = nullptr);
 
 }  // namespace step::core

@@ -122,6 +122,7 @@ PartitionSearchResult LjhDecomposer::find_partition(const Deadline* deadline) {
   result.found = best_set;
   if (best_set) result.partition = std::move(best);
   result.timed_out = timed_out;
+  if (timed_out) result.reason = reason_of_unknown(deadline);
   result.exhausted = all_pairs_tried && !best_set && !timed_out;
   result.sat_calls = sat_calls_;
   return result;

@@ -56,6 +56,7 @@ PartitionSearchResult MgDecomposer::find_partition(const Deadline* deadline) {
   }
   if (seed_j < 0) {
     result.exhausted = all_pairs_tried;
+    if (result.timed_out) result.reason = reason_of_unknown(deadline);
     result.sat_calls = rs_.sat_calls() - start_calls;
     return result;
   }

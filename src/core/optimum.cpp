@@ -26,7 +26,11 @@ OptimumResult OptimumSearch::run(const std::optional<Partition>& bootstrap,
     return po_deadline != nullptr ? po_deadline->remaining_s() : 1e30;
   };
   auto query = [&](int k) {
+    // The per-call deadline chains to the PO deadline so its attachments
+    // (memory tracker, fault stream, run-level cancellation) also
+    // interrupt a QBF call mid-CEGAR, not just between calls.
     Deadline call(std::min(opts_.call_timeout_s, remaining()));
+    call.attach_parent(po_deadline);
     ++res.qbf_calls;
     return finder_.find_with_bound(model_, k, &call);
   };
@@ -57,6 +61,14 @@ OptimumResult OptimumSearch::run(const std::optional<Partition>& bootstrap,
     if (probe.status == qbf::Qbf2Status::kUnknown) {
       ++res.timeouts;
       res.outcome = OptimumResult::Outcome::kUnknown;
+      // A tripped PO deadline names the cause; otherwise the per-call
+      // wall budget expired, which is an engine-level deadline. (A SAT
+      // conflict cap also lands here; the decomposer refines it from the
+      // solver stats.)
+      res.reason =
+          po_deadline != nullptr && po_deadline->trip() != Deadline::Trip::kNone
+              ? reason_of(po_deadline->trip())
+              : OutcomeReason::kEngineDeadline;
       return res;
     }
     record_best(probe.partition);

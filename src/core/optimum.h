@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "core/outcome.h"
 #include "core/qbf_model.h"
 
 namespace step::core {
@@ -42,6 +43,8 @@ struct OptimumResult {
     kUnknown,          ///< timeouts prevented any conclusion
   };
   Outcome outcome = Outcome::kUnknown;
+  /// What prevented a conclusion when outcome == kUnknown (kOk otherwise).
+  OutcomeReason reason = OutcomeReason::kOk;
   Partition best;
   int best_cost = 0;
   /// True iff every bound below best_cost was refuted by the QBF solver,

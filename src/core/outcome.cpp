@@ -1,0 +1,53 @@
+#include "core/outcome.h"
+
+namespace step::core {
+
+const char* to_string(OutcomeReason r) {
+  switch (r) {
+    case OutcomeReason::kOk: return "ok";
+    case OutcomeReason::kEngineDeadline: return "engine_deadline";
+    case OutcomeReason::kCircuitDeadline: return "circuit_deadline";
+    case OutcomeReason::kConflictBudget: return "conflict_budget";
+    case OutcomeReason::kMemLimit: return "mem_limit";
+    case OutcomeReason::kInjectedFault: return "injected_fault";
+    case OutcomeReason::kVerificationFailed: return "verification_failed";
+    case OutcomeReason::kIoError: return "io_error";
+  }
+  return "?";
+}
+
+OutcomeReason reason_of(Deadline::Trip trip, bool run_level) {
+  switch (trip) {
+    case Deadline::Trip::kNone:
+      return OutcomeReason::kOk;
+    case Deadline::Trip::kWall:
+    case Deadline::Trip::kForced:
+    case Deadline::Trip::kInjectedExpire:
+      // The seam and the injector stand in for "this budget ran out".
+      return run_level ? OutcomeReason::kCircuitDeadline
+                       : OutcomeReason::kEngineDeadline;
+    case Deadline::Trip::kParent:
+    case Deadline::Trip::kCancelled:
+      return OutcomeReason::kCircuitDeadline;
+    case Deadline::Trip::kMem:
+    case Deadline::Trip::kInjectedAlloc:
+      return OutcomeReason::kMemLimit;
+    case Deadline::Trip::kInjectedAbort:
+      return OutcomeReason::kInjectedFault;
+  }
+  return OutcomeReason::kOk;
+}
+
+std::string OutcomeCounts::to_string() const {
+  std::string s = "ok=" + std::to_string(of(OutcomeReason::kOk));
+  for (int i = 1; i < kNumOutcomeReasons; ++i) {
+    if (counts[i] == 0) continue;
+    s += ' ';
+    s += core::to_string(static_cast<OutcomeReason>(i));
+    s += '=';
+    s += std::to_string(counts[i]);
+  }
+  return s;
+}
+
+}  // namespace step::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/timer.h"
+
+namespace step::core {
+
+/// Why a unit of work (a SAT call, an engine search, a whole cone, a
+/// circuit run) ended the way it did. `kOk` covers every *conclusive*
+/// ending — decomposed, proven not decomposable, netlist emitted; all
+/// other values classify an inconclusive or failed ending. This enum
+/// replaces the ad-hoc booleans (`timed_out`, `hit_circuit_budget`) that
+/// used to be scattered per layer: every layer reports the same taxonomy,
+/// so counts aggregate across cones, threads, and runs.
+enum class OutcomeReason : std::uint8_t {
+  kOk = 0,
+  kEngineDeadline,      ///< the per-cone (engine) wall budget expired
+  kCircuitDeadline,     ///< the shared per-run budget expired or SIGINT
+  kConflictBudget,      ///< a SAT conflict cap stopped the search
+  kMemLimit,            ///< a memory cap tripped (governor or injected)
+  kInjectedFault,       ///< a FaultInjector abort fired
+  kVerificationFailed,  ///< a result failed SAT verification, was discarded
+  kIoError,             ///< reader/writer failure (CLI boundary)
+};
+
+inline constexpr int kNumOutcomeReasons = 8;
+
+const char* to_string(OutcomeReason r);
+
+/// Maps a tripped deadline onto the taxonomy. `run_level` tells whether
+/// the deadline's *own* budget is the shared per-run budget (true for the
+/// circuit deadline itself) or a per-cone engine budget; causes that
+/// escalate from attachments (parent / cancel / memory / faults) classify
+/// the same either way.
+OutcomeReason reason_of(Deadline::Trip trip, bool run_level = false);
+
+/// Classifies an inconclusive (kUnknown) search result: a tripped
+/// deadline wins; with no trip the only other budgeted stop is a SAT
+/// conflict cap. Call only when the search did *not* conclude.
+inline OutcomeReason reason_of_unknown(const Deadline* deadline) {
+  if (deadline != nullptr && deadline->trip() != Deadline::Trip::kNone) {
+    return reason_of(deadline->trip());
+  }
+  return OutcomeReason::kConflictBudget;
+}
+
+/// Where an outcome tripped, for messages: "engine", "window", "verify"…
+/// Free-form but short; empty for kOk.
+struct Outcome {
+  OutcomeReason reason = OutcomeReason::kOk;
+  std::string where;
+
+  bool ok() const { return reason == OutcomeReason::kOk; }
+};
+
+/// Aggregate of outcome reasons over a set of work units (the POs of a
+/// run, the runs of a bench). Totals add across threads and circuits, and
+/// the sum of the counters always equals the number of units counted — the
+/// fuzz sweep asserts exactly that.
+struct OutcomeCounts {
+  std::uint64_t counts[kNumOutcomeReasons] = {};
+
+  void add(OutcomeReason r) { ++counts[static_cast<int>(r)]; }
+  std::uint64_t of(OutcomeReason r) const {
+    return counts[static_cast<int>(r)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts) t += c;
+    return t;
+  }
+  std::uint64_t failures() const { return total() - of(OutcomeReason::kOk); }
+
+  OutcomeCounts& operator+=(const OutcomeCounts& o) {
+    for (int i = 0; i < kNumOutcomeReasons; ++i) counts[i] += o.counts[i];
+    return *this;
+  }
+  bool operator==(const OutcomeCounts&) const = default;
+
+  /// "ok=12 engine_deadline=3 mem_limit=1" — zero entries skipped except
+  /// ok, which always prints.
+  std::string to_string() const;
+};
+
+}  // namespace step::core

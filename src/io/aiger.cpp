@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 namespace {
@@ -21,7 +23,7 @@ aig::Aig parse_aiger(std::string_view text) {
   std::string magic;
   std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
   if (!(is >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
-    throw std::runtime_error("aiger: expected 'aag M I L O A' header");
+    throw IoError("aiger: expected 'aag M I L O A' header");
   }
   // Header sanity before any allocation is sized from it: AIGER requires
   // M >= I + L + A, and every declared object occupies at least two bytes
@@ -29,7 +31,7 @@ aig::Aig parse_aiger(std::string_view text) {
   // is malformed (and would otherwise drive multi-gigabyte allocations).
   const std::uint64_t byte_limit = text.size() + 64;
   if (static_cast<std::uint64_t>(i) + l + a > m || m > byte_limit) {
-    throw std::runtime_error("aiger: implausible header counts");
+    throw IoError("aiger: implausible header counts");
   }
 
   aig::Aig out;
@@ -39,8 +41,8 @@ aig::Aig parse_aiger(std::string_view text) {
 
   auto read_lit = [&]() {
     std::uint32_t v;
-    if (!(is >> v)) throw std::runtime_error("aiger: truncated file");
-    if (v / 2 > m) throw std::runtime_error("aiger: literal out of range");
+    if (!(is >> v)) throw IoError("aiger: truncated file");
+    if (v / 2 > m) throw IoError("aiger: literal out of range");
     return v;
   };
 
@@ -48,7 +50,7 @@ aig::Aig parse_aiger(std::string_view text) {
   for (std::uint32_t k = 0; k < i; ++k) {
     input_lits[k] = read_lit();
     if (input_lits[k] % 2 != 0 || input_lits[k] == 0) {
-      throw std::runtime_error("aiger: input literal must be even, nonzero");
+      throw IoError("aiger: input literal must be even, nonzero");
     }
     var_map[input_lits[k] / 2] = out.add_input("i" + std::to_string(k));
   }
@@ -60,7 +62,7 @@ aig::Aig parse_aiger(std::string_view text) {
     std::string rest;
     std::getline(is, rest);
     if (latch_lits[k] % 2 != 0 || latch_lits[k] == 0) {
-      throw std::runtime_error("aiger: latch literal must be even, nonzero");
+      throw IoError("aiger: latch literal must be even, nonzero");
     }
     var_map[latch_lits[k] / 2] = out.add_input("l" + std::to_string(k));
   }
@@ -73,7 +75,7 @@ aig::Aig parse_aiger(std::string_view text) {
     const std::uint32_t rhs0 = read_lit();
     const std::uint32_t rhs1 = read_lit();
     if (lhs % 2 != 0 || lhs == 0 || var_map[lhs / 2] != aig::kLitInvalid) {
-      throw std::runtime_error("aiger: bad AND definition");
+      throw IoError("aiger: bad AND definition");
     }
     ands.emplace(lhs / 2, AndDef{rhs0, rhs1});
   }
@@ -96,7 +98,7 @@ aig::Aig parse_aiger(std::string_view text) {
       }
       auto it = ands.find(var);
       if (it == ands.end()) {
-        throw std::runtime_error("aiger: undefined variable " +
+        throw IoError("aiger: undefined variable " +
                                  std::to_string(var));
       }
       const std::uint32_t c0 = it->second.rhs0 / 2;
@@ -105,7 +107,7 @@ aig::Aig parse_aiger(std::string_view text) {
         // Children were scheduled; unresolved ones now mean a cycle.
         if (var_map[c0] == aig::kLitInvalid ||
             var_map[c1] == aig::kLitInvalid) {
-          throw std::runtime_error("aiger: cyclic definition");
+          throw IoError("aiger: cyclic definition");
         }
         var_map[var] = out.land(edge(it->second.rhs0), edge(it->second.rhs1));
         expanded[var] = 0;
@@ -115,7 +117,7 @@ aig::Aig parse_aiger(std::string_view text) {
       expanded[var] = 1;
       for (const std::uint32_t c : {c0, c1}) {
         if (var_map[c] != aig::kLitInvalid) continue;
-        if (expanded[c]) throw std::runtime_error("aiger: cyclic definition");
+        if (expanded[c]) throw IoError("aiger: cyclic definition");
         work.push_back(c);
       }
     }
@@ -154,7 +156,7 @@ aig::Aig parse_aiger(std::string_view text) {
 
 aig::Aig read_aiger_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("aiger: cannot open '" + path + "'");
+  if (!in) throw IoError("aiger: cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_aiger(ss.str());
@@ -188,9 +190,9 @@ std::string write_aiger(const aig::Aig& a) {
 
 void write_aiger_file(const aig::Aig& a, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("aiger: cannot write '" + path + "'");
+  if (!out) throw IoError("aiger: cannot write '" + path + "'");
   out << write_aiger(a);
-  if (!out) throw std::runtime_error("aiger: write failed for '" + path + "'");
+  if (!out) throw IoError("aiger: write failed for '" + path + "'");
 }
 
 }  // namespace step::io

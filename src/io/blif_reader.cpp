@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 namespace {
@@ -63,7 +65,7 @@ Network parse_blif(std::string_view text) {
     if (kw[0] == '.') {
       open_node = nullptr;
       if (kw == ".model") {
-        if (in_model) throw std::runtime_error("blif: nested .model");
+        if (in_model) throw IoError("blif: nested .model");
         in_model = true;
         if (tok.size() > 1) net.name = tok[1];
       } else if (kw == ".inputs") {
@@ -71,14 +73,14 @@ Network parse_blif(std::string_view text) {
       } else if (kw == ".outputs") {
         net.outputs.insert(net.outputs.end(), tok.begin() + 1, tok.end());
       } else if (kw == ".names") {
-        if (tok.size() < 2) throw std::runtime_error("blif: .names without output");
+        if (tok.size() < 2) throw IoError("blif: .names without output");
         NetNode node;
         node.name = tok.back();
         node.fanins.assign(tok.begin() + 1, tok.end() - 1);
         net.nodes.push_back(std::move(node));
         open_node = &net.nodes.back();
       } else if (kw == ".latch") {
-        if (tok.size() < 3) throw std::runtime_error("blif: malformed .latch");
+        if (tok.size() < 3) throw IoError("blif: malformed .latch");
         Latch l;
         l.input = tok[1];
         l.output = tok[2];
@@ -92,7 +94,7 @@ Network parse_blif(std::string_view text) {
       } else if (kw == ".end") {
         done = true;
       } else if (kw == ".exdc") {
-        throw std::runtime_error("blif: .exdc is not supported");
+        throw IoError("blif: .exdc is not supported");
       } else {
         // Unknown directives (.default_input_arrival etc.) are skipped.
       }
@@ -101,28 +103,28 @@ Network parse_blif(std::string_view text) {
 
     // Cube line of the open .names block.
     if (open_node == nullptr) {
-      throw std::runtime_error("blif: stray cube line '" + line + "'");
+      throw IoError("blif: stray cube line '" + line + "'");
     }
     if (open_node->fanins.empty()) {
       // Constant node: single column holds the output value.
       if (tok.size() != 1 || tok[0].size() != 1 ||
           (tok[0][0] != '0' && tok[0][0] != '1')) {
-        throw std::runtime_error("blif: malformed constant in '" +
+        throw IoError("blif: malformed constant in '" +
                                  open_node->name + "'");
       }
       open_node->out_value = tok[0][0];
       open_node->cubes.push_back("");  // one empty cube = constant out_value
     } else {
       if (tok.size() != 2 || tok[1].size() != 1) {
-        throw std::runtime_error("blif: malformed cube '" + line + "'");
+        throw IoError("blif: malformed cube '" + line + "'");
       }
       for (char c : tok[0]) {
         if (c != '0' && c != '1' && c != '-') {
-          throw std::runtime_error("blif: bad cube character in '" + line + "'");
+          throw IoError("blif: bad cube character in '" + line + "'");
         }
       }
       if (!open_node->cubes.empty() && open_node->out_value != tok[1][0]) {
-        throw std::runtime_error("blif: mixed ON/OFF cubes in '" +
+        throw IoError("blif: mixed ON/OFF cubes in '" +
                                  open_node->name + "'");
       }
       open_node->out_value = tok[1][0];
@@ -130,13 +132,13 @@ Network parse_blif(std::string_view text) {
     }
   }
 
-  if (!in_model) throw std::runtime_error("blif: missing .model");
+  if (!in_model) throw IoError("blif: missing .model");
   return net;
 }
 
 Network read_blif_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("blif: cannot open '" + path + "'");
+  if (!in) throw IoError("blif: cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_blif(ss.str());

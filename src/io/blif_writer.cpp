@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 namespace {
@@ -72,9 +74,9 @@ std::string write_blif(const aig::Aig& a, const std::string& model_name) {
 void write_blif_file(const aig::Aig& a, const std::string& path,
                      const std::string& model_name) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("blif: cannot write '" + path + "'");
+  if (!out) throw IoError("blif: cannot write '" + path + "'");
   out << write_blif(a, model_name);
-  if (!out) throw std::runtime_error("blif: write failed for '" + path + "'");
+  if (!out) throw IoError("blif: write failed for '" + path + "'");
 }
 
 }  // namespace step::io

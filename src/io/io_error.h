@@ -1,0 +1,24 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace step::io {
+
+/// Typed reader/writer failure. Subclasses std::runtime_error so existing
+/// catch sites and EXPECT_THROW(… std::runtime_error) tests keep working,
+/// while the CLI boundary can catch IoError specifically and map it onto
+/// the io_error outcome (exit code 3) instead of a generic failure.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& message, std::string path = {})
+      : std::runtime_error(message), path_(std::move(path)) {}
+
+  /// The file the failure concerns; empty for in-memory parses.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace step::io

@@ -3,11 +3,13 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 aig::Aig Network::to_aig(bool comb) const {
   if (!latches.empty() && !comb) {
-    throw std::runtime_error("network: sequential elaboration requires comb=true");
+    throw IoError("network: sequential elaboration requires comb=true");
   }
 
   aig::Aig a;
@@ -24,7 +26,7 @@ aig::Aig Network::to_aig(bool comb) const {
   std::unordered_map<std::string, const NetNode*> by_name;
   for (const NetNode& n : nodes) {
     if (!by_name.emplace(n.name, &n).second) {
-      throw std::runtime_error("network: net '" + n.name + "' driven twice");
+      throw IoError("network: net '" + n.name + "' driven twice");
     }
   }
 
@@ -39,7 +41,7 @@ aig::Aig Network::to_aig(bool comb) const {
     std::vector<aig::Lit> terms;
     for (const std::string& cube : n->cubes) {
       if (cube.size() != n->fanins.size()) {
-        throw std::runtime_error("network: cube width mismatch in '" +
+        throw IoError("network: cube width mismatch in '" +
                                  n->name + "'");
       }
       std::vector<aig::Lit> factors;
@@ -64,7 +66,7 @@ aig::Aig Network::to_aig(bool comb) const {
     if (net.count(root_name)) return;
     auto root_it = by_name.find(root_name);
     if (root_it == by_name.end()) {
-      throw std::runtime_error("network: net '" + root_name + "' is undriven");
+      throw IoError("network: net '" + root_name + "' is undriven");
     }
     if (mark[root_name] == Mark::kBlack) return;
 
@@ -77,11 +79,11 @@ aig::Aig Network::to_aig(bool comb) const {
         if (net.count(nm)) continue;  // input, latch output, or elaborated
         auto it = by_name.find(nm);
         if (it == by_name.end()) {
-          throw std::runtime_error("network: net '" + nm + "' is undriven");
+          throw IoError("network: net '" + nm + "' is undriven");
         }
         const Mark m = mark[nm];
         if (m == Mark::kGrey) {
-          throw std::runtime_error("network: combinational cycle through '" +
+          throw IoError("network: combinational cycle through '" +
                                    nm + "'");
         }
         if (m == Mark::kBlack) continue;

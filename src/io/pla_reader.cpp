@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 Network parse_pla(std::string_view text) {
@@ -27,11 +29,11 @@ Network parse_pla(std::string_view text) {
     constexpr int kMaxWidth = 1 << 20;
     if (tok == ".i") {
       if (!(ls >> n_in) || n_in <= 0 || n_in > kMaxWidth) {
-        throw std::runtime_error("pla: bad .i");
+        throw IoError("pla: bad .i");
       }
     } else if (tok == ".o") {
       if (!(ls >> n_out) || n_out <= 0 || n_out > kMaxWidth) {
-        throw std::runtime_error("pla: bad .o");
+        throw IoError("pla: bad .o");
       }
     } else if (tok == ".ilb") {
       std::string n;
@@ -43,7 +45,7 @@ Network parse_pla(std::string_view text) {
       std::string t;
       ls >> t;
       if (t != "f" && t != "fr") {
-        throw std::runtime_error("pla: unsupported .type " + t);
+        throw IoError("pla: unsupported .type " + t);
       }
       on_set = true;
     } else if (tok == ".p" || tok == ".phase" || tok == ".pair") {
@@ -51,19 +53,19 @@ Network parse_pla(std::string_view text) {
     } else if (tok == ".e" || tok == ".end") {
       break;
     } else if (tok[0] == '.') {
-      throw std::runtime_error("pla: unsupported directive " + tok);
+      throw IoError("pla: unsupported directive " + tok);
     } else {
       // Cube line: input part already in tok, output part follows.
       std::string out_part;
-      if (!(ls >> out_part)) throw std::runtime_error("pla: cube missing outputs");
+      if (!(ls >> out_part)) throw IoError("pla: cube missing outputs");
       cubes.emplace_back(tok, out_part);
     }
   }
-  if (n_in < 0 || n_out < 0) throw std::runtime_error("pla: missing .i/.o");
+  if (n_in < 0 || n_out < 0) throw IoError("pla: missing .i/.o");
   // Elaboration materializes n_out SOP nodes of n_in fanins each; bound
   // the product so a hostile header cannot explode to_aig() either.
   if (static_cast<long long>(n_in) * n_out > (1LL << 24)) {
-    throw std::runtime_error("pla: implausible .i x .o product");
+    throw IoError("pla: implausible .i x .o product");
   }
 
   Network net;
@@ -87,18 +89,18 @@ Network parse_pla(std::string_view text) {
     for (const auto& [in_part, out_part] : cubes) {
       if (static_cast<int>(in_part.size()) != n_in ||
           static_cast<int>(out_part.size()) != n_out) {
-        throw std::runtime_error("pla: cube width mismatch");
+        throw IoError("pla: cube width mismatch");
       }
       for (char c : in_part) {
         if (c != '0' && c != '1' && c != '-') {
-          throw std::runtime_error("pla: bad input cube character");
+          throw IoError("pla: bad input cube character");
         }
       }
       const char oc = out_part[o];
       if (oc == '1') {
         node.cubes.push_back(in_part);
       } else if (oc != '0' && oc != '~' && oc != '-') {
-        throw std::runtime_error("pla: bad output cube character");
+        throw IoError("pla: bad output cube character");
       }
     }
     (void)on_set;
@@ -109,7 +111,7 @@ Network parse_pla(std::string_view text) {
 
 Network read_pla_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("pla: cannot open '" + path + "'");
+  if (!in) throw IoError("pla: cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_pla(ss.str());

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "io/io_error.h"
+
 namespace step::io {
 
 namespace {
@@ -108,9 +110,9 @@ std::string write_verilog(const aig::Aig& a, const std::string& module_name) {
 void write_verilog_file(const aig::Aig& a, const std::string& path,
                         const std::string& module_name) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("verilog: cannot write '" + path + "'");
+  if (!out) throw IoError("verilog: cannot write '" + path + "'");
   out << write_verilog(a, module_name);
-  if (!out) throw std::runtime_error("verilog: write failed for '" + path + "'");
+  if (!out) throw IoError("verilog: write failed for '" + path + "'");
 }
 
 }  // namespace step::io

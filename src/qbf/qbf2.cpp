@@ -166,12 +166,14 @@ Qbf2Result ExistsForallSolver::solve(std::span<const sat::Lit> assumptions,
   for (;;) {
     if (deadline != nullptr && deadline->expired()) {
       res.status = Qbf2Status::kUnknown;
+      res.stopped_by = deadline->trip();
       return res;
     }
     const sat::Result ra =
       abstraction_.solve_limited(assumptions, -1, deadline);
     if (ra == sat::Result::kUnknown) {
       res.status = Qbf2Status::kUnknown;
+      if (deadline != nullptr) res.stopped_by = deadline->trip();
       return res;
     }
     if (ra == sat::Result::kUnsat) {
@@ -193,6 +195,7 @@ Qbf2Result ExistsForallSolver::solve(std::span<const sat::Lit> assumptions,
     const sat::Result rv = verification_.solve_limited(assumps, -1, deadline);
     if (rv == sat::Result::kUnknown) {
       res.status = Qbf2Status::kUnknown;
+      if (deadline != nullptr) res.stopped_by = deadline->trip();
       return res;
     }
     if (rv == sat::Result::kUnsat) {

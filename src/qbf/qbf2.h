@@ -21,6 +21,11 @@ enum class Qbf2Status : std::uint8_t {
 
 struct Qbf2Result {
   Qbf2Status status = Qbf2Status::kUnknown;
+  /// When kUnknown: why the deadline stopped the CEGAR loop (wall budget,
+  /// memory trip, injected fault, cancellation — see Deadline::Trip);
+  /// kNone when the solve concluded, or when a SAT-internal budget (not
+  /// the deadline) stopped it.
+  Deadline::Trip stopped_by = Deadline::Trip::kNone;
   /// When kTrue: a witness assignment to the outer (existential) inputs,
   /// indexed like `outer_inputs`. kUndef entries are don't-cares.
   std::vector<sat::Lbool> outer_model;

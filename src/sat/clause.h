@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/resource.h"
 #include "sat/types.h"
 
 namespace step::sat {
@@ -92,12 +93,38 @@ class Clause {
 /// logging is enabled; the solver's reduce_db() compacts watch lists only).
 class ClauseArena {
  public:
+  ClauseArena() = default;
+  ClauseArena(const ClauseArena&) = delete;
+  ClauseArena& operator=(const ClauseArena&) = delete;
+  ClauseArena(ClauseArena&& o) noexcept
+      : mem_(std::move(o.mem_)),
+        mem_tracker_(o.mem_tracker_),
+        charged_bytes_(o.charged_bytes_) {
+    o.mem_tracker_ = nullptr;
+    o.charged_bytes_ = 0;
+  }
+  ClauseArena& operator=(ClauseArena&& o) noexcept {
+    if (this != &o) {
+      if (mem_tracker_ != nullptr) mem_tracker_->release(charged_bytes_);
+      mem_ = std::move(o.mem_);
+      mem_tracker_ = o.mem_tracker_;
+      charged_bytes_ = o.charged_bytes_;
+      o.mem_tracker_ = nullptr;
+      o.charged_bytes_ = 0;
+    }
+    return *this;
+  }
+  ~ClauseArena() {
+    if (mem_tracker_ != nullptr) mem_tracker_->release(charged_bytes_);
+  }
+
   CRef alloc(std::span<const Lit> lits, bool learnt) {
     STEP_CHECK(!lits.empty());
     const std::size_t need = kHeaderWords + lits.size();
     const CRef ref = static_cast<CRef>(mem_.size());
     mem_.resize(mem_.size() + need);
     clause_at(ref).init(lits, learnt);
+    charge_growth();
     return ref;
   }
 
@@ -108,14 +135,34 @@ class ClauseArena {
 
   std::size_t size_words() const { return mem_.size(); }
 
+  /// Resource-governor hook: arena capacity growth — the dominant
+  /// allocation of a hard cone (learnt clauses) — is charged to the
+  /// cone's tracker and refunded on destruction, so abandoning the cone
+  /// returns its memory to the run budget (common/resource.h).
+  void set_mem_tracker(MemTracker* tracker) {
+    mem_tracker_ = tracker;
+    charge_growth();
+  }
+
  private:
   static constexpr std::size_t kHeaderWords = 4;
+
+  void charge_growth() {
+    if (mem_tracker_ == nullptr) return;
+    const std::size_t cap = mem_.capacity() * sizeof(std::uint32_t);
+    if (cap > charged_bytes_) {
+      mem_tracker_->charge(cap - charged_bytes_);
+      charged_bytes_ = cap;
+    }
+  }
 
   Clause& clause_at(CRef r) {
     return *reinterpret_cast<Clause*>(mem_.data() + r);
   }
 
   std::vector<std::uint32_t> mem_;
+  MemTracker* mem_tracker_ = nullptr;
+  std::size_t charged_bytes_ = 0;
 };
 
 }  // namespace step::sat

@@ -59,11 +59,14 @@ Solver::Stats& Solver::Stats::operator+=(const Stats& o) {
   failed_literals += o.failed_literals;
   hyper_binaries += o.hyper_binaries;
   transitive_reductions += o.transitive_reductions;
+  conflict_budget_stops += o.conflict_budget_stops;
+  deadline_stops += o.deadline_stops;
   return *this;
 }
 
 Solver::Solver(SolverOptions opts) : opts_(opts) {
   debug_models_ = std::getenv("STEP_DEBUG_MODELS") != nullptr;
+  if (opts_.mem != nullptr) arena_.set_mem_tracker(opts_.mem);
 }
 
 Var Solver::new_var() {
@@ -841,7 +844,17 @@ Result Solver::solve_limited(std::span<const Lit> assumptions,
                              const Deadline* deadline) {
   conflict_core_.clear();
   if (!ok_) return Result::kUnsat;
-  if (deadline != nullptr && deadline->expired()) return Result::kUnknown;
+  if (deadline != nullptr && deadline->expired()) {
+    ++stats_.deadline_stops;
+    return Result::kUnknown;
+  }
+  // The options-level cap composes with the per-call budget: whichever is
+  // tighter stops the search.
+  if (opts_.conflict_budget >= 0) {
+    conflict_budget = conflict_budget < 0
+                          ? opts_.conflict_budget
+                          : std::min(conflict_budget, opts_.conflict_budget);
+  }
 
   ++solve_calls_;
 
@@ -911,12 +924,18 @@ Result Solver::solve_limited(std::span<const Lit> assumptions,
     if (conflict_budget >= 0) {
       const std::int64_t used =
           static_cast<std::int64_t>(stats_.conflicts - conflicts_at_start);
-      if (used >= conflict_budget) break;
+      if (used >= conflict_budget) {
+        ++stats_.conflict_budget_stops;
+        break;
+      }
       const std::int64_t remaining = conflict_budget - used;
       budget = budget < 0 ? remaining : std::min(budget, remaining);
     }
     status = search(budget, deadline);
-    if (deadline && deadline->expired()) break;
+    if (deadline && deadline->expired()) {
+      if (status == Result::kUnknown) ++stats_.deadline_stops;
+      break;
+    }
   }
   cancel_until(0);
   // Extend the model over eliminated/substituted variables so callers see

@@ -112,6 +112,18 @@ struct SolverOptions {
   /// reduction walk).
   std::int64_t probe_budget = 30000;
 
+  // ---- resource governance ----
+  /// Per-solve conflict cap applied to *every* solve() of this solver
+  /// (negative = unlimited). Callers that pass an explicit budget to
+  /// solve_limited() get the smaller of the two. A capped stop returns
+  /// kUnknown and bumps Stats::conflict_budget_stops so outcome
+  /// classification (core/outcome.h) can tell it apart from a deadline.
+  std::int64_t conflict_budget = -1;
+  /// When set, the clause arena charges its capacity growth here (and
+  /// refunds on destruction) — the per-cone account of the resource
+  /// governor (common/resource.h). The tracker must outlive the solver.
+  MemTracker* mem = nullptr;
+
   // ---- proofs ----
   /// Record the resolution proof. Implies that learnt clauses are never
   /// deleted (proof nodes must stay resolvable) and disables inprocessing,
@@ -240,6 +252,11 @@ class Solver {
     std::uint64_t failed_literals = 0;
     std::uint64_t hyper_binaries = 0;
     std::uint64_t transitive_reductions = 0;  ///< redundant binaries deleted
+    // Budgeted-stop causes: solve() calls that returned kUnknown because
+    // the conflict cap ran out vs. because the deadline (wall budget,
+    // memory trip, injected fault — see Deadline::Trip) fired.
+    std::uint64_t conflict_budget_stops = 0;
+    std::uint64_t deadline_stops = 0;
 
     Stats& operator+=(const Stats& o);
   };

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "benchgen/generators.h"
 #include "benchgen/suite.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "core/circuit_driver.h"
 
@@ -199,6 +201,37 @@ TEST(ParallelDriver, StressTinySuiteManyThreads) {
       const auto seq = core::run_circuit(c.aig, c.name, opts, 120.0, {1});
       const auto par = core::run_circuit(c.aig, c.name, opts, 120.0, {8});
       expect_same_outcomes(seq, par);
+    }
+  }
+}
+
+TEST(ParallelDriver, FaultInjectionIsThreadCountInvariant) {
+  // Each PO derives its fault stream from (plan.seed, po_index), never from
+  // scheduling, so the injected schedule — and with it every per-PO status,
+  // reason, and the aggregated taxonomy — must be identical across thread
+  // counts. Budgets are generous: wall-clock expiry is the one legitimately
+  // nondeterministic input, and it is kept out of the picture here.
+  const aig::Aig circ = benchgen::random_sop(3, 3, 2, 6, 4, 0x5eed);
+  const auto opts = generous_opts(core::Engine::kMg, core::GateOp::kOr);
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    SCOPED_TRACE(seed);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 0.1;
+    core::ParallelDriverOptions p1;
+    p1.num_threads = 1;
+    p1.faults = &plan;
+    core::ParallelDriverOptions p8 = p1;
+    p8.num_threads = 8;
+    const auto seq = core::run_circuit(circ, "f", opts, 600.0, p1);
+    const auto par = core::run_circuit(circ, "f", opts, 600.0, p8);
+    ASSERT_EQ(seq.pos.size(), par.pos.size());
+    EXPECT_EQ(seq.outcome_counts(), par.outcome_counts());
+    for (std::size_t i = 0; i < seq.pos.size(); ++i) {
+      SCOPED_TRACE("po slot " + std::to_string(i));
+      EXPECT_EQ(seq.pos[i].status, par.pos[i].status);
+      EXPECT_EQ(seq.pos[i].reason, par.pos[i].reason);
+      EXPECT_EQ(seq.pos[i].degraded, par.pos[i].degraded);
     }
   }
 }

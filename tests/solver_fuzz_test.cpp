@@ -20,7 +20,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault.h"
 #include "common/rng.h"
+#include "common/timer.h"
 
 namespace step::sat {
 namespace {
@@ -319,6 +321,64 @@ TEST(SolverFuzz, InprocessingKeepsIncrementalAnswersStable) {
     // inprocessing hook; everything else must have run it.
     if (s.is_ok()) EXPECT_GE(s.stats().inprocess_rounds, 1u);
   }
+}
+
+TEST(SolverFuzz, ConflictBudgetsAndInjectedFaultsOnlyLoseAnswers) {
+  // Random instances under a random conflict cap plus a fault-injected
+  // deadline: every answer is either kUnknown (with the stop attributed in
+  // the stats / the deadline trip) or exactly the oracle's — budgets and
+  // injected faults may cost answers, never corrupt them.
+  Rng rng(0xfa17);
+  std::uint64_t unknowns = 0, answers = 0;
+  for (int round = 0; round < 80; ++round) {
+    const int nv = rng.next_int(6, 12);
+    std::vector<LitVec> clauses;
+    for (int c = 0; c < nv * 3; ++c) clauses.push_back(random_clause(nv, rng));
+
+    SolverOptions capped = modern_config();
+    capped.conflict_budget = rng.next_int(1, 40);
+    Solver s(capped);
+    for (int i = 0; i < nv; ++i) s.set_frozen(s.new_var());
+    for (const LitVec& c : clauses) {
+      if (!s.add_clause(c)) break;
+    }
+
+    FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(round);
+    plan.rate = 0.02;
+    FaultStream faults(plan, /*stream_id=*/0);
+    Deadline deadline(60.0);
+    deadline.attach_faults(&faults);
+
+    for (int solve = 0; solve < 3 && s.is_ok(); ++solve) {
+      LitVec assumptions;
+      const int n_assume = rng.next_int(0, 2);
+      for (int a = 0; a < n_assume; ++a) {
+        assumptions.push_back(mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+      }
+      const Result r = s.solve_limited(assumptions, -1, &deadline);
+      if (r == Result::kUnknown) {
+        ++unknowns;
+        // Every kUnknown is attributable: either the cap fired (stats) or
+        // the injected fault tripped the deadline.
+        EXPECT_TRUE(s.stats().conflict_budget_stops > 0 ||
+                    s.stats().deadline_stops > 0 ||
+                    deadline.trip() != Deadline::Trip::kNone);
+        continue;
+      }
+      ++answers;
+      ASSERT_EQ(r == Result::kSat, oracle_sat(nv, clauses, assumptions))
+          << "round " << round << " solve " << solve;
+      if (r == Result::kSat) {
+        check_model(s, clauses, assumptions);
+      } else {
+        check_core(s, assumptions);
+      }
+    }
+  }
+  // The sweep must exercise both the lost-answer and the answered path.
+  EXPECT_GT(unknowns, 0u);
+  EXPECT_GT(answers, 0u);
 }
 
 }  // namespace

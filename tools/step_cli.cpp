@@ -9,20 +9,35 @@
 // Run `step --help` (or see README.md § Command-line reference) for the
 // complete flag list; the two are kept in sync by tests/cli_reference_test.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "common/fault.h"
+#include "common/resource.h"
 #include "core/circuit_driver.h"
 #include "core/synthesis.h"
 #include "io/blif_reader.h"
 #include "io/blif_writer.h"
 #include "io/comb.h"
+#include "io/io_error.h"
 
 namespace {
 
 using namespace step;
+
+/// Set by the SIGINT handler; the drivers poll it through the circuit
+/// deadline's cancellation attachment, so in-flight cones stop at their
+/// next poll and the partial report is still flushed before exit.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 struct CliOptions {
   std::string command;
@@ -43,6 +58,11 @@ struct CliOptions {
   bool dc_stats = false;
   aig::WindowOptions window;
   sat::SolverOptions sat;
+  // Resource governance / fault injection (PR 7).
+  std::size_t mem_limit_mb = 0;       ///< hard per-run cap, 0 = none
+  std::size_t cone_mem_limit_mb = 0;  ///< soft per-cone cap, 0 = none
+  bool degrade = false;
+  std::optional<FaultPlan> faults;
 };
 
 constexpr const char kHelpText[] =
@@ -104,13 +124,44 @@ constexpr const char kHelpText[] =
     "                            round (default 400000)\n"
     "  -probe-budget <n>         propagation budget per probing round\n"
     "                            (default 30000)\n"
+    "  -conflicts <n>            per-solve conflict budget; an exhausted\n"
+    "                            budget is a typed `conf` outcome, never a\n"
+    "                            wrong answer (default unlimited)\n"
+    "\n"
+    "resource governance (see docs/ARCHITECTURE.md § Resource governance):\n"
+    "  -mem-limit <mb>           hard per-run cap on tracked solver/cache\n"
+    "                            memory: when exceeded, live cones wind down\n"
+    "                            cleanly with a `mem` outcome instead of the\n"
+    "                            process being OOM-killed\n"
+    "  -cone-mem-limit <mb>      soft per-cone cap: a cone over it is\n"
+    "                            abandoned (`mem`) while siblings keep going\n"
+    "  --degrade                 degradation ladder: retry over-budget or\n"
+    "                            over-memory cones under cheaper configs\n"
+    "                            (window off, cheaper engine) on shrinking\n"
+    "                            budget slices; every degraded result is\n"
+    "                            still SAT-verified (auto-enabled by the\n"
+    "                            memory caps above)\n"
+    "  -faults <seed:rate[:kinds]>  deterministic fault injection at every\n"
+    "                            budget poll point (testing); kinds from\n"
+    "                            \"eabvi\": expire, alloc, abort, verify, io\n"
+    "                            (default eabv)\n"
+    "  --inject-faults           read the fault plan from the STEP_FAULTS\n"
+    "                            environment variable (same format)\n"
     "\n"
     "reporting options:\n"
     "  --stats                   print aggregated solver-cost counters\n"
     "                            (SAT/QBF calls, CEGAR iterations, conflicts,\n"
-    "                            restarts, tiers, inprocessing) after the run\n"
+    "                            restarts, tiers, inprocessing) and the\n"
+    "                            per-reason outcome taxonomy after the run\n"
     "  --cache-stats             print NPN-decomposition-cache counters\n"
-    "  --help                    this reference\n";
+    "  --help                    this reference\n"
+    "\n"
+    "exit codes:\n"
+    "  0    success\n"
+    "  1    failure (verification mismatch, internal error)\n"
+    "  2    usage error\n"
+    "  3    I/O error (missing, truncated, or malformed input file)\n"
+    "  130  interrupted (SIGINT) — the partial report is flushed first\n";
 
 [[noreturn]] void usage(int exit_code = 2) {
   std::fputs(kHelpText, exit_code == 0 ? stdout : stderr);
@@ -128,6 +179,13 @@ CliOptions parse_args(int argc, char** argv) {
   }
   if (argc < 3) usage();
   cli.command = argv[1];
+  // Reject unknown commands before touching the input file, so a typo'd
+  // command is a usage error (2), not a misleading I/O error (3).
+  if (cli.command != "decompose" && cli.command != "resynth" &&
+      cli.command != "stats") {
+    std::fprintf(stderr, "step: unknown command '%s'\n", cli.command.c_str());
+    usage();
+  }
   cli.input = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -222,11 +280,76 @@ CliOptions parse_args(int argc, char** argv) {
       cli.sat.elim_budget = std::atoll(value());
     } else if (flag == "-probe-budget") {
       cli.sat.probe_budget = std::atoll(value());
+    } else if (flag == "-conflicts") {
+      cli.sat.conflict_budget = std::atoll(value());
+      if (cli.sat.conflict_budget < 0) {
+        std::fprintf(stderr, "step: -conflicts expects a budget >= 0\n");
+        usage();
+      }
+    } else if (flag == "-mem-limit") {
+      const long long mb = std::atoll(value());
+      if (mb < 1) {
+        std::fprintf(stderr, "step: -mem-limit expects a size in MB >= 1\n");
+        usage();
+      }
+      cli.mem_limit_mb = static_cast<std::size_t>(mb);
+    } else if (flag == "-cone-mem-limit") {
+      const long long mb = std::atoll(value());
+      if (mb < 1) {
+        std::fprintf(stderr,
+                     "step: -cone-mem-limit expects a size in MB >= 1\n");
+        usage();
+      }
+      cli.cone_mem_limit_mb = static_cast<std::size_t>(mb);
+    } else if (flag == "--degrade" || flag == "-degrade") {
+      cli.degrade = true;
+    } else if (flag == "-faults") {
+      cli.faults = FaultPlan::parse(value());
+      if (!cli.faults) {
+        std::fprintf(stderr,
+                     "step: -faults expects seed:rate[:kinds] with rate in"
+                     " [0,1] and kinds from \"eabvi\"\n");
+        usage();
+      }
+    } else if (flag == "--inject-faults" || flag == "-inject-faults") {
+      cli.faults = FaultPlan::from_env();
+      if (!cli.faults) {
+        std::fprintf(stderr,
+                     "step: --inject-faults requires STEP_FAULTS="
+                     "seed:rate[:kinds] in the environment\n");
+        usage();
+      }
     } else {
       usage();
     }
   }
+  // The memory caps imply the ladder: a capped run should degrade
+  // gracefully rather than just lose cones.
+  if (cli.mem_limit_mb != 0 || cli.cone_mem_limit_mb != 0) cli.degrade = true;
   return cli;
+}
+
+/// Governance wiring shared by the decompose/resynth commands.
+core::ParallelDriverOptions driver_options(const CliOptions& cli,
+                                           ResourceGovernor* governor) {
+  core::ParallelDriverOptions par;
+  par.num_threads = cli.num_threads;
+  par.governor = governor;
+  par.faults = cli.faults && cli.faults->enabled() ? &*cli.faults : nullptr;
+  par.cancel = &g_interrupted;
+  par.degrade = cli.degrade;
+  return par;
+}
+
+ResourceGovernor make_governor(const CliOptions& cli) {
+  ResourceGovernor::Options o;
+  o.soft_cone_bytes = cli.cone_mem_limit_mb * std::size_t{1} << 20;
+  o.hard_run_bytes = cli.mem_limit_mb * std::size_t{1} << 20;
+  return ResourceGovernor(o);
+}
+
+bool has_governor(const CliOptions& cli) {
+  return cli.mem_limit_mb != 0 || cli.cone_mem_limit_mb != 0;
 }
 
 int cmd_stats(const io::Network& net, const aig::Aig& circuit) {
@@ -258,21 +381,34 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   opts.sat = cli.sat;
   opts.use_dont_cares = cli.use_dc;
   opts.window = cli.window;
-  core::ParallelDriverOptions par;
-  par.num_threads = cli.num_threads;
+  ResourceGovernor governor = make_governor(cli);
+  const core::ParallelDriverOptions par =
+      driver_options(cli, has_governor(cli) ? &governor : nullptr);
   const core::CircuitRunResult run =
       core::run_circuit(circuit, net.name, opts, cli.timeout_s, par);
+
+  // Status column: "yes*" = decomposed on an SDC window's care set
+  // (--dc); "yes~" = concluded by the degradation ladder; failures name
+  // their typed reason (t/o wall budget, mem cap, conf conflict budget,
+  // inj injected fault, vfail discarded unverified result).
+  auto status_of = [](const core::PoOutcome& po) -> const char* {
+    if (po.status == core::DecomposeStatus::kDecomposed) {
+      return po.degraded ? "yes~" : po.used_window ? "yes*" : "yes";
+    }
+    if (po.status == core::DecomposeStatus::kNotDecomposable) return "no";
+    switch (po.reason) {
+      case core::OutcomeReason::kMemLimit: return "mem";
+      case core::OutcomeReason::kConflictBudget: return "conf";
+      case core::OutcomeReason::kInjectedFault: return "inj";
+      case core::OutcomeReason::kVerificationFailed: return "vfail";
+      default: return "t/o";
+    }
+  };
 
   std::printf("%-6s %8s %6s %7s %7s %8s %9s\n", "po", "support", "dec",
               "eD", "eB", "optimal", "cpu(s)");
   for (const core::PoOutcome& po : run.pos) {
-    // "yes*" = decomposed on an SDC window's care set (--dc).
-    const char* status =
-        po.status == core::DecomposeStatus::kDecomposed
-            ? (po.used_window ? "yes*" : "yes")
-            : po.status == core::DecomposeStatus::kNotDecomposable ? "no"
-                                                                   : "t/o";
-    std::printf("%-6d %8d %6s", po.po_index, po.support, status);
+    std::printf("%-6d %8d %6s", po.po_index, po.support, status_of(po));
     if (po.status == core::DecomposeStatus::kDecomposed) {
       std::printf(" %7.3f %7.3f %8s", po.metrics.disjointness(),
                   po.metrics.balancedness(), po.proven_optimal ? "yes" : "-");
@@ -294,6 +430,13 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
                 run.total_window_sat_completions());
   }
   if (cli.print_stats) {
+    std::printf("# outcomes: %s degraded=%d\n",
+                run.outcome_counts().to_string().c_str(), run.num_degraded());
+    if (has_governor(cli)) {
+      std::printf("# mem: peak=%zu bytes cones_tripped=%llu\n",
+                  governor.peak_run_bytes(),
+                  static_cast<unsigned long long>(governor.cones_tripped()));
+    }
     std::printf("# stats: mode=%s sat_calls=%ld qbf_calls=%ld"
                 " qbf_iterations=%ld\n",
                 cli.incremental ? "incremental" : "scratch",
@@ -326,6 +469,11 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
                 u(ss.eliminated_vars), u(ss.substituted_lits),
                 u(ss.failed_literals), u(ss.hyper_binaries),
                 u(ss.transitive_reductions));
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::printf("# interrupted: partial report above (unfinished POs are"
+                " circuit_deadline)\n");
+    return 130;
   }
   return 0;
 }
@@ -366,11 +514,18 @@ void print_cache_stats(const core::DecCacheStats& c) {
 core::CircuitResynthResult run_resynth(const CliOptions& cli,
                                        const io::Network& net,
                                        const aig::Aig& circuit, bool verify) {
+  ResourceGovernor governor = make_governor(cli);
+  ResourceGovernor* gov = has_governor(cli) ? &governor : nullptr;
+  MemTracker cache_mem(gov);
   core::DecCache cache;
   core::SynthesisOptions opts =
       synthesis_options(cli, cli.use_cache ? &cache : nullptr);
-  core::ParallelDriverOptions par;
-  par.num_threads = cli.num_threads;
+  if (gov != nullptr && opts.cache != nullptr) {
+    // The shared cache charges the run-level account directly: its
+    // entries are shared across cones and outlive any one of them.
+    opts.cache->set_mem_tracker(&cache_mem);
+  }
+  const core::ParallelDriverOptions par = driver_options(cli, gov);
   return core::run_circuit_resynth(circuit, net.name, opts, cli.timeout_s, par,
                                    verify);
 }
@@ -398,8 +553,12 @@ int cmd_decompose_recursive(const CliOptions& cli, const io::Network& net,
                 r.all_verified ? "all POs SAT-proven equivalent"
                                : "MISMATCH — a PO failed the miter check");
   }
+  if (cli.print_stats) {
+    std::printf("# outcomes: %s\n", r.outcome_counts().to_string().c_str());
+  }
   if (cli.dc_stats) print_dc_synthesis_stats(r.stats);
   if (cli.cache_stats) print_cache_stats(r.cache);
+  if (g_interrupted.load(std::memory_order_relaxed)) return 130;
   return cli.verify && !r.all_verified ? 1 : 0;
 }
 
@@ -418,6 +577,10 @@ int cmd_resynth(const CliOptions& cli, const io::Network& net,
                  r.all_verified ? "all POs SAT-proven equivalent"
                                 : "MISMATCH — a PO failed the miter check");
   }
+  if (cli.print_stats) {
+    std::fprintf(stderr, "# outcomes: %s\n",
+                 r.outcome_counts().to_string().c_str());
+  }
   if (cli.dc_stats) print_dc_synthesis_stats(r.stats);
   if (cli.cache_stats) print_cache_stats(r.cache);
   const std::string text = io::write_blif(r.network, "resynth");
@@ -427,6 +590,7 @@ int cmd_resynth(const CliOptions& cli, const io::Network& net,
     io::write_blif_file(r.network, cli.output, "resynth");
     std::fprintf(stderr, "# wrote %s\n", cli.output.c_str());
   }
+  if (g_interrupted.load(std::memory_order_relaxed)) return 130;
   return cli.verify && !r.all_verified ? 1 : 0;
 }
 
@@ -434,6 +598,18 @@ int cmd_resynth(const CliOptions& cli, const io::Network& net,
 
 int main(int argc, char** argv) try {
   const CliOptions cli = parse_args(argc, argv);
+  // Graceful SIGINT: the handler only sets a flag the drivers poll, so an
+  // interrupted run flushes its partial report (unfinished POs typed as
+  // circuit_deadline) and exits 130 instead of dying mid-write.
+  std::signal(SIGINT, handle_sigint);
+
+  // Injected reader failure: with the explicit "i" fault kind enabled the
+  // CLI's read deterministically fails like an unreadable file would —
+  // exercising the typed io_error path end to end.
+  if (cli.faults && cli.faults->enabled() && cli.faults->io) {
+    throw io::IoError("injected I/O fault (fault plan enables kind 'i')",
+                      cli.input);
+  }
   const io::Network net = io::read_blif_file(cli.input);
   const aig::Aig circuit = io::to_combinational(net);
 
@@ -444,6 +620,9 @@ int main(int argc, char** argv) try {
   }
   if (cli.command == "resynth") return cmd_resynth(cli, net, circuit);
   usage();
+} catch (const step::io::IoError& e) {
+  std::fprintf(stderr, "step: io error: %s\n", e.what());
+  return 3;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "step: %s\n", e.what());
   return 1;
