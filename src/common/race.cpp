@@ -1,0 +1,34 @@
+#include "common/race.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace step {
+
+void RaceScheduler::run_all(std::vector<std::function<void()>>& entries) {
+  if (entries.empty()) return;
+
+  // Per-call latch: races from different PO workers interleave on the
+  // helper pool, so wait_idle() (pool-global) would over-wait.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+  } latch;
+  latch.pending = entries.size() - 1;
+
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    pool_.submit([&latch, entry = std::move(entries[i])] {
+      entry();
+      std::lock_guard<std::mutex> lk(latch.mu);
+      if (--latch.pending == 0) latch.cv.notify_all();
+    });
+  }
+  entries[0]();
+
+  std::unique_lock<std::mutex> lk(latch.mu);
+  latch.cv.wait(lk, [&latch] { return latch.pending == 0; });
+}
+
+}  // namespace step

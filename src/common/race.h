@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace step {
+
+/// Runs small groups of competing entries ("racers") concurrently and
+/// waits for the whole group to return — the execution substrate of the
+/// engine-portfolio races (core/portfolio.h).
+///
+/// Entry 0 always runs inline on the calling thread; the remaining
+/// entries are submitted to a helper pool shared by every race of the
+/// run. Racers therefore never run on the circuit driver's PO pool — a
+/// racer queued behind blocked PO jobs on the same pool could deadlock
+/// the PO worker that is waiting for it.
+///
+/// The scheduler is purely a completion barrier: it never kills a
+/// running entry. Cancellation is the racers' own contract — each entry
+/// polls a shared cancel flag (through its Deadline) and returns promptly
+/// once the race is decided, so run_all() returns as soon as the losers
+/// observe the winner. An entry that is still queued when its race is
+/// decided runs anyway and trips on its first poll.
+class RaceScheduler {
+ public:
+  /// Spawns `helper_threads` workers (at least 1) for non-primary racers.
+  explicit RaceScheduler(int helper_threads)
+      : pool_(helper_threads < 1 ? 1 : helper_threads) {}
+
+  int helper_threads() const { return pool_.num_threads(); }
+
+  /// Runs every entry to completion: entries[0] inline, the rest on the
+  /// helper pool. Safe to call from multiple threads concurrently (races
+  /// share the helpers; each call waits only for its own entries).
+  void run_all(std::vector<std::function<void()>>& entries);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace step

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <optional>
 
 #include "aig/ops.h"
 #include "aig/support.h"
 #include "aig/window.h"
+#include "common/race.h"
 #include "common/thread_pool.h"
 
 namespace step::core {
@@ -27,7 +29,32 @@ std::optional<Engine> cheaper_engine(Engine e) {
   return std::nullopt;
 }
 
+// Deadline::remaining_s() reports ~1e30 when nothing bounds it; anything
+// at or above this is "no limit" rather than a real number of seconds.
+constexpr double kUnboundedRemaining_s = 1e29;
+
 }  // namespace
+
+double effective_attempt_budget_s(double po_budget_s,
+                                  const Deadline& circuit_deadline) {
+  const double remaining = circuit_deadline.remaining_s();
+  const double b =
+      po_budget_s > 0 ? std::min(po_budget_s, remaining) : remaining;
+  if (b >= kUnboundedRemaining_s) return 0.0;  // unlimited on both sides
+  // An expired circuit budget must not round to 0 ("no deadline"): grant
+  // an instantly-expiring attempt instead.
+  return b > 0 ? b : 1e-9;
+}
+
+double ladder_rung_budget_s(double po_budget_s, double frac,
+                            const Deadline& circuit_deadline) {
+  double base = po_budget_s;
+  if (base <= 0) {
+    const double remaining = circuit_deadline.remaining_s();
+    base = remaining < kUnboundedRemaining_s ? remaining : kDefaultRungBudget_s;
+  }
+  return effective_attempt_budget_s(base * frac, circuit_deadline);
+}
 
 int CircuitRunResult::num_decomposed() const {
   return static_cast<int>(
@@ -87,6 +114,34 @@ std::uint64_t CircuitRunResult::total_window_sdc_minterms() const {
 long CircuitRunResult::total_window_sat_completions() const {
   long s = 0;
   for (const PoOutcome& p : pos) s += p.window_sat_completions;
+  return s;
+}
+
+int CircuitRunResult::num_probed() const {
+  return static_cast<int>(std::count_if(
+      pos.begin(), pos.end(), [](const PoOutcome& p) { return p.probed; }));
+}
+
+int CircuitRunResult::num_raced() const {
+  return static_cast<int>(std::count_if(
+      pos.begin(), pos.end(), [](const PoOutcome& p) { return p.raced; }));
+}
+
+long CircuitRunResult::total_race_cancels() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.race_cancels;
+  return s;
+}
+
+long CircuitRunResult::total_pool_published() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.pool_published;
+  return s;
+}
+
+long CircuitRunResult::total_pool_imported() const {
+  long s = 0;
+  for (const PoOutcome& p : pos) s += p.pool_imported;
   return s;
 }
 
@@ -162,6 +217,17 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
   result.pos.resize(jobs.size());
   std::atomic<bool> hit_budget{false};
 
+  // Race helpers are a separate small pool: racers of one cone must never
+  // queue behind other cones' primary jobs on the PO pool (a full PO pool
+  // would starve every race of its non-primary racers — or deadlock a
+  // pool waiting on itself). Width is capped at 3 engines, so 2 helpers
+  // cover the widest race; the caller's worker runs the primary racer.
+  std::unique_ptr<RaceScheduler> race_sched;
+  if (par.portfolio.enabled && par.portfolio.race_width > 1) {
+    race_sched = std::make_unique<RaceScheduler>(
+        std::min(par.portfolio.race_width - 1, 2));
+  }
+
   auto absorb_costs = [](PoOutcome& outcome, const DecomposeResult& r) {
     outcome.sat_calls += r.sat_calls;
     outcome.qbf_calls += r.qbf_calls;
@@ -201,13 +267,14 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
     // read-only circuit, the deadline, and the governor's atomics.
     // Returns kOk on a conclusion (decomposed or proven not
     // decomposable), otherwise the typed failure reason.
-    auto attempt = [&](DecomposeOptions aopts, bool try_window) {
+    auto attempt = [&](DecomposeOptions aopts, bool try_window,
+                       bool use_portfolio) {
       MemTracker mem(par.governor);
       if (par.governor != nullptr) aopts.mem = &mem;
       if (faults) aopts.faults = &*faults;
       aopts.run_deadline = &circuit_deadline;
       aopts.po_budget_s =
-          std::min(aopts.po_budget_s, circuit_deadline.remaining_s());
+          effective_attempt_budget_s(aopts.po_budget_s, circuit_deadline);
 
       if (try_window) {
         if (std::optional<aig::Window> win =
@@ -252,8 +319,22 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
 
       const Cone cone = extract_po_cone(circuit, job.po);
       aopts.po_budget_s =
-          std::min(aopts.po_budget_s, circuit_deadline.remaining_s());
-      const DecomposeResult r = BiDecomposer(aopts).decompose(cone);
+          effective_attempt_budget_s(aopts.po_budget_s, circuit_deadline);
+      DecomposeResult r;
+      if (use_portfolio) {
+        PortfolioOutcome p = decompose_portfolio(cone, aopts, par.portfolio,
+                                                 race_sched.get());
+        r = std::move(p.result);
+        outcome.probed = true;
+        outcome.engine_used = p.engine_used;
+        outcome.raced = p.raced;
+        outcome.race_width = p.race_width;
+        outcome.race_cancels = p.race_cancels;
+        outcome.pool_published = p.pool_published;
+        outcome.pool_imported = p.pool_imported;
+      } else {
+        r = BiDecomposer(aopts).decompose(cone);
+      }
       absorb_costs(outcome, r);
       outcome.status = r.status;
       if (r.status != DecomposeStatus::kUnknown) {
@@ -265,7 +346,9 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
                                             : r.reason;
     };
 
-    const OutcomeReason why = attempt(opts, opts.use_dont_cares);
+    outcome.engine_used = opts.engine;
+    const OutcomeReason why =
+        attempt(opts, opts.use_dont_cares, par.portfolio.enabled);
     if (why != OutcomeReason::kOk) {
       // The reported reason stays the primary attempt's: the root cause,
       // even when ladder rungs below fail for other (cheaper) reasons.
@@ -303,7 +386,8 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
           if (circuit_deadline.expired()) break;
           DecomposeOptions ropts = opts;
           ropts.engine = rung.engine;
-          ropts.po_budget_s = opts.po_budget_s * rung.budget_frac;
+          ropts.po_budget_s = ladder_rung_budget_s(
+              opts.po_budget_s, rung.budget_frac, circuit_deadline);
           ropts.use_dont_cares = rung.window;
           if (rung.window) {
             ropts.window.max_inputs = std::min(ropts.window.max_inputs, 6);
@@ -312,7 +396,10 @@ CircuitRunResult run_circuit(const aig::Aig& circuit, const std::string& name,
           }
           ropts.extract = true;
           ropts.verify = true;
-          if (attempt(ropts, rung.window) == OutcomeReason::kOk) {
+          // Rungs stay fixed-engine: the ladder exists to get *cheaper*,
+          // racing a cone that already blew its budget is not that.
+          if (attempt(ropts, rung.window, /*use_portfolio=*/false) ==
+              OutcomeReason::kOk) {
             outcome.degraded = true;
             outcome.ladder_rung = rung_idx;
             outcome.reason = OutcomeReason::kOk;

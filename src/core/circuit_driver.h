@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/decomposer.h"
+#include "core/portfolio.h"
 #include "core/synthesis.h"
 
 namespace step::core {
@@ -32,6 +33,16 @@ struct PoOutcome {
   std::uint64_t qbf_abstraction_conflicts = 0;
   std::uint64_t qbf_verification_conflicts = 0;
   sat::Solver::Stats solver_stats;  ///< low-level SAT counters, all solvers
+  // Portfolio accounting (populated in --portfolio mode only). Probe and
+  // plan are deterministic per cone; engine_used / race_cancels / pool
+  // transfers of a decided race are timing-dependent, the answer is not.
+  Engine engine_used = Engine::kMg;  ///< engine that produced the answer
+  bool probed = false;               ///< portfolio probe ran on this PO
+  bool raced = false;                ///< engines raced concurrently
+  int race_width = 1;                ///< engines run on this PO
+  int race_cancels = 0;              ///< losers cancelled by the winner
+  long pool_published = 0;           ///< countermodels shared to racers
+  long pool_imported = 0;            ///< countermodels adopted from racers
   // Don't-care accounting (populated in DC mode only).
   bool window_built = false;  ///< an SDC window existed for this PO
   bool used_window = false;   ///< decomposed on the window's care set
@@ -67,6 +78,14 @@ struct CircuitRunResult {
   int num_window_decomposed() const;
   std::uint64_t total_window_sdc_minterms() const;
   long total_window_sat_completions() const;
+
+  /// Portfolio aggregates (all zero outside --portfolio mode; derived
+  /// from `pos`, so they sum identically across thread counts).
+  int num_probed() const;
+  int num_raced() const;
+  long total_race_cancels() const;
+  long total_pool_published() const;
+  long total_pool_imported() const;
 
   /// Circuit-wide solver-cost aggregates (sums over `pos`).
   long total_sat_calls() const;
@@ -110,7 +129,36 @@ struct ParallelDriverOptions {
   /// default so paper-faithful benchmark runs report first-attempt
   /// engine quality.
   bool degrade = false;
+  /// Engine-portfolio mode (core/portfolio.h): probe each cone, run the
+  /// probe-picked engine solo on easy cones and race 2-3 engines with
+  /// first-winner cancellation on hard ones. Applies to the primary
+  /// attempt only; degradation-ladder rungs stay fixed-engine.
+  PortfolioOptions portfolio;
 };
+
+/// Effective wall budget for one decomposition attempt under a shared
+/// circuit deadline. Deadline treats a non-positive budget as "no
+/// deadline", which makes the naive `min(po_budget_s, remaining_s())` a
+/// trap on both ends: with po_budget_s == 0 the min is 0 — *unlimited*,
+/// not clamped to the circuit's remaining time — and with an expired
+/// circuit deadline remaining_s() == 0 turns a finite per-PO budget into
+/// an unlimited one. "Unlimited" survives only when both sides genuinely
+/// are; an expired circuit budget yields an instantly-expiring attempt.
+double effective_attempt_budget_s(double po_budget_s,
+                                  const Deadline& circuit_deadline);
+
+/// Whole-ladder budget slice granted when the configured per-PO budget is
+/// unlimited: rungs retry a cone that already failed once — they must
+/// always be finite.
+inline constexpr double kDefaultRungBudget_s = 10.0;
+
+/// Budget for one degradation-ladder rung: `frac` of the per-PO budget,
+/// clamped to the circuit budget's remaining time. An unlimited per-PO
+/// budget (<= 0) falls back to the circuit's remaining time, else to
+/// kDefaultRungBudget_s — never to `0 * frac == 0`, which would hand a
+/// mem-tripped cone's retry an unlimited rung.
+double ladder_rung_budget_s(double po_budget_s, double frac,
+                            const Deadline& circuit_deadline);
 
 /// Runs one engine over all POs of `circuit`. `circuit_budget_s` mirrors
 /// the paper's per-circuit timeout (6000 s there; scaled down here) and is

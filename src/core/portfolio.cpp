@@ -1,0 +1,208 @@
+#include "core/portfolio.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "aig/simulate.h"
+#include "common/race.h"
+
+namespace step::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ProbeFeatures probe_cone(const Cone& cone, const PortfolioOptions& popts,
+                         double dc_density, double cache_hit_rate) {
+  ProbeFeatures f;
+  f.support = cone.n();
+  f.ands = static_cast<int>(cone.aig.num_ands());
+  f.dc_density = dc_density;
+  f.cache_hit_rate = cache_hit_rate;
+
+  // Fixed-seed simulation signature: kRounds x 64 samples for the onset
+  // estimate, re-simulating with one input complemented for the
+  // sensitivity estimate. A pure function of the cone — re-probing is
+  // idempotent, and 1-thread and N-thread runs see identical features.
+  constexpr int kRounds = 4;
+  constexpr int kFlipInputs = 12;
+  const int n = f.support;
+  const int flips = std::min(n, kFlipInputs);
+  int on_bits = 0;
+  long flip_bits = 0, flip_samples = 0;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < n; ++i) {
+      words[static_cast<std::size_t>(i)] =
+          splitmix64((std::uint64_t{0x5157} << 32) ^
+                     (static_cast<std::uint64_t>(r) << 16) ^
+                     static_cast<std::uint64_t>(i));
+    }
+    const std::uint64_t base = aig::simulate_cone(cone.aig, cone.root, words);
+    on_bits += std::popcount(base);
+    for (int i = 0; i < flips; ++i) {
+      words[static_cast<std::size_t>(i)] = ~words[static_cast<std::size_t>(i)];
+      const std::uint64_t flipped =
+          aig::simulate_cone(cone.aig, cone.root, words);
+      words[static_cast<std::size_t>(i)] = ~words[static_cast<std::size_t>(i)];
+      flip_bits += std::popcount(base ^ flipped);
+      flip_samples += 64;
+    }
+  }
+  f.onset_density = on_bits / (64.0 * kRounds);
+  f.sensitivity =
+      flip_samples > 0 ? static_cast<double>(flip_bits) / flip_samples : 0.0;
+
+  f.hard = (f.support >= popts.hard_support || f.ands >= popts.hard_ands) &&
+           f.sensitivity >= popts.min_sensitivity_to_race;
+  return f;
+}
+
+std::vector<Engine> plan_engines(const ProbeFeatures& f,
+                                 const PortfolioOptions& popts,
+                                 Engine configured) {
+  const Engine quality =
+      is_qbf_engine(configured) ? configured : Engine::kQbfCombined;
+  if (f.hard && popts.race_width > 1) {
+    // MG anchors every race (exact on decomposability, fastest to a
+    // conclusion), the quality engine chases the optimum, and width 3
+    // adds a second QBF lens that shares the race's countermodel pool
+    // with the first.
+    std::vector<Engine> plan{Engine::kMg, quality};
+    if (popts.race_width >= 3) {
+      plan.push_back(quality == Engine::kQbfDisjoint ? Engine::kQbfCombined
+                                                     : Engine::kQbfDisjoint);
+    }
+    return plan;
+  }
+  // Solo: small cones afford the optimum engine (a warm decomposition
+  // cache cheapens it further, so a high hit rate widens the band); the
+  // rest get the fast exact bootstrap engine.
+  const int quality_cap =
+      popts.quality_support_max + (f.cache_hit_rate > 0.5 ? 2 : 0);
+  if (f.support <= quality_cap) return {quality};
+  return {Engine::kMg};
+}
+
+PortfolioOutcome decompose_portfolio(const Cone& cone,
+                                     const DecomposeOptions& opts,
+                                     const PortfolioOptions& popts,
+                                     RaceScheduler* sched, const CareSet* care,
+                                     double dc_density) {
+  PortfolioOutcome out;
+  out.features = probe_cone(cone, popts, dc_density);
+
+  std::vector<Engine> plan = plan_engines(out.features, popts, opts.engine);
+  const bool can_race =
+      sched != nullptr && cone.n() >= 2 && !opts.reduce_support &&
+      (opts.faults == nullptr || !opts.faults->enabled());
+  if (plan.size() > 1 && !can_race) plan.resize(1);
+
+  if (plan.size() == 1) {
+    DecomposeOptions sopts = opts;
+    sopts.engine = plan[0];
+    out.result = BiDecomposer(sopts).decompose(cone, care);
+    out.engine_used = plan[0];
+    return out;
+  }
+
+  // ---- race ----
+  Timer timer;
+  DecomposeOptions base = opts;
+  // Mirror BiDecomposer's orchestration: thread the cone's memory account
+  // through the SAT options so every racer's solvers charge it (the
+  // tracker is atomic, so concurrent racers share it safely).
+  if (base.mem != nullptr && base.sat.mem == nullptr) base.sat.mem = base.mem;
+  if (care_is_trivial(care)) care = nullptr;
+
+  // One per-PO deadline carries the budget and the mem/run attachments;
+  // each racer chains it as parent and adds the race's cancel flag, so a
+  // loser trips kCancelled at its next poll and unwinds — every solver it
+  // built is private to its strand and dies with it.
+  Deadline po_deadline(base.po_budget_s);
+  po_deadline.attach_parent(base.run_deadline);
+  po_deadline.attach_mem(base.mem);
+
+  const RelaxationMatrix matrix = build_relaxation_matrix(cone, base.op, care);
+  SharedCountermodelPool pool;
+
+  std::atomic<bool> race_done{false};
+  std::mutex mu;
+  std::vector<SearchStrand> strands(plan.size());
+  int winner = -1;  // guarded by mu
+
+  std::vector<std::function<void()>> racers;
+  racers.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    racers.push_back([&, i] {
+      Deadline d;
+      d.attach_parent(&po_deadline);
+      d.attach_cancel(&race_done);
+      DecomposeOptions ropts = base;
+      ropts.engine = plan[i];
+      ropts.qbf.shared_pool = &pool;
+      SearchStrand s = run_search_strand(matrix, plan[i], ropts, &d);
+      std::lock_guard<std::mutex> lk(mu);
+      const bool conclusive = s.status != DecomposeStatus::kUnknown;
+      strands[i] = std::move(s);
+      if (conclusive && winner < 0) {
+        winner = static_cast<int>(i);
+        race_done.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  sched->run_all(racers);
+
+  out.raced = true;
+  out.race_width = static_cast<int>(plan.size());
+  if (winner >= 0) {
+    out.race_cancels = static_cast<int>(plan.size()) - 1;
+    out.engine_used = plan[static_cast<std::size_t>(winner)];
+    const SearchStrand& w = strands[static_cast<std::size_t>(winner)];
+    if (w.status == DecomposeStatus::kDecomposed) {
+      // The winning partition goes through the same validate / extract /
+      // SAT-verify pipeline as any fixed-engine result before it counts.
+      out.result =
+          decompose_with_partition(cone, base.op, w.partition, base.extract,
+                                   base.verify, care, base.faults);
+      if (out.result.status == DecomposeStatus::kDecomposed) {
+        out.result.proven_optimal = w.proven_optimal;
+      }
+    } else {
+      out.result.status = DecomposeStatus::kNotDecomposable;
+    }
+  } else {
+    // Every racer gave up: report under the primary's typed reason, like
+    // a fixed-engine run of the primary would.
+    out.engine_used = plan[0];
+    out.result.status = DecomposeStatus::kUnknown;
+    out.result.reason = strands[0].reason != OutcomeReason::kOk
+                            ? strands[0].reason
+                            : reason_of_unknown(&po_deadline);
+  }
+  for (const SearchStrand& s : strands) {
+    out.result.sat_calls += s.sat_calls;
+    out.result.qbf_calls += s.qbf_calls;
+    out.result.qbf_iterations += s.qbf_iterations;
+    out.result.qbf_abstraction_conflicts += s.qbf_abstraction_conflicts;
+    out.result.qbf_verification_conflicts += s.qbf_verification_conflicts;
+    out.result.solver_stats += s.solver_stats;
+    out.pool_published += s.pool_published;
+    out.pool_imported += s.pool_imported;
+  }
+  out.result.cpu_s = timer.elapsed_s();
+  return out;
+}
+
+}  // namespace step::core

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <vector>
+
+#include "core/decomposer.h"
+
+namespace step {
+class RaceScheduler;
+}
+
+namespace step::core {
+
+/// Engine-portfolio policy (the `--portfolio` mode of the circuit
+/// driver). A cheap per-cone probe classifies each cone; easy cones run
+/// one probe-picked engine, hard cones race several engines concurrently
+/// with first-winner cancellation and cross-racer countermodel sharing.
+///
+/// Every decision below is a *pure function* of the probe features and
+/// these options — never of timing, thread count, or adaptive state — so
+/// which cones are probed, which race, and at what width is identical
+/// between -j1 and -j8 runs. Only the race's internal outcome (which
+/// racer wins, transfer counts) is timing-dependent; the *answer* is not,
+/// because every engine is sound and non-decomposability is
+/// engine-independent.
+struct PortfolioOptions {
+  bool enabled = false;
+  /// Engines raced on a cone predicted hard (capped at 3); 1 disables
+  /// racing — the probe still picks the solo engine per cone.
+  int race_width = 2;
+  /// Hardness thresholds: a cone at/above either support or AND count is
+  /// predicted hard and raced.
+  int hard_support = 10;
+  int hard_ands = 160;
+  /// Near-constant cones (average input sensitivity below this) are never
+  /// raced: the exact bootstrap engine concludes them quickly alone.
+  double min_sensitivity_to_race = 0.02;
+  /// Easy cones up to this support get the optimum (QBF) engine solo —
+  /// small enough that proving optimality costs little over the bootstrap.
+  int quality_support_max = 4;
+};
+
+/// Per-cone features the probe extracts (one structural walk plus a few
+/// 64-bit-parallel simulation rounds with fixed seeds — deterministic and
+/// orders of magnitude cheaper than any engine attempt).
+struct ProbeFeatures {
+  int support = 0;
+  int ands = 0;
+  /// Fraction of sampled minterms on which the cone evaluates true.
+  double onset_density = 0.0;
+  /// Average fraction of sampled minterms whose output flips when one
+  /// input flips (averaged over sampled inputs) — a Boolean-sensitivity
+  /// estimate; near-zero means the function barely depends on anything.
+  double sensitivity = 0.0;
+  /// Don't-care density of the cone's window (1 - care fraction); zero
+  /// when the caller has no window.
+  double dc_density = 0.0;
+  /// Decomposition-cache hit rate observed so far (advisory; the
+  /// decompose driver passes none — only cache-carrying callers do).
+  double cache_hit_rate = 0.0;
+  bool hard = false;
+};
+
+ProbeFeatures probe_cone(const Cone& cone, const PortfolioOptions& popts,
+                         double dc_density = 0.0, double cache_hit_rate = 0.0);
+
+/// The race plan for one cone: the engines to run, primary first. Size 1
+/// means solo (no race). Hard cones always include the MG bootstrap
+/// engine, so the portfolio concludes on every cone a fixed MG run
+/// concludes on; `configured` biases which QBF engine joins the race and
+/// which optimum engine easy small cones get.
+std::vector<Engine> plan_engines(const ProbeFeatures& f,
+                                 const PortfolioOptions& popts,
+                                 Engine configured);
+
+/// One cone through the portfolio: probe, plan, solo-run or race.
+struct PortfolioOutcome {
+  DecomposeResult result;
+  ProbeFeatures features;
+  /// Solo: the probe's pick. Raced: the winning engine (primary when no
+  /// racer concluded). Timing-dependent for races — the answer is not.
+  Engine engine_used = Engine::kMg;
+  bool raced = false;
+  int race_width = 1;    ///< engines actually run on this cone
+  int race_cancels = 0;  ///< losers signalled to stop (width-1 per decided race)
+  long pool_published = 0;
+  long pool_imported = 0;
+};
+
+/// Decomposes one cone under the portfolio policy. `opts` carries the
+/// budgets, attachments and sub-options exactly as for BiDecomposer;
+/// opts.engine is the configured engine the plan may override. Races run
+/// their non-primary racers on `sched` (racing is skipped when it is
+/// null, when fault injection is active — the per-cone stream is not
+/// thread-safe and its schedule is defined per cone, not per racer — or
+/// when opts.reduce_support is set, since racers share one relaxation
+/// matrix built on the unreduced cone). A race winner's partition is
+/// re-validated, extracted and SAT-verified through
+/// decompose_with_partition before it is reported, so raced answers carry
+/// the same verification contract as fixed-engine ones.
+PortfolioOutcome decompose_portfolio(const Cone& cone,
+                                     const DecomposeOptions& opts,
+                                     const PortfolioOptions& popts,
+                                     RaceScheduler* sched,
+                                     const CareSet* care = nullptr,
+                                     double dc_density = 0.0);
+
+}  // namespace step::core

@@ -176,6 +176,17 @@ class Solver {
   Result solve(std::span<const Lit> assumptions);
   /// Budgeted solve: stops with kUnknown when the conflict budget
   /// (negative = unlimited) or the deadline runs out.
+  ///
+  /// Interrupt contract: a kUnknown return leaves the solver fully
+  /// reusable — the next solve() on the same instance behaves as if the
+  /// interrupted call never happened. Specifically: the trail is unwound
+  /// to level 0 before returning; assumptions are frozen before any
+  /// simplification, so an interrupted call never eliminates a variable a
+  /// later call may assume; and inprocessing runs only at solve entry
+  /// (never polling the deadline mid-rewrite), with every phase restoring
+  /// watch/trail consistency before it returns. This is what lets a
+  /// portfolio racer cancel mid-solve without poisoning persistent
+  /// incremental state (see tests/solver_fuzz_test.cpp, cancel fuzz).
   Result solve_limited(std::span<const Lit> assumptions,
                        std::int64_t conflict_budget = -1,
                        const Deadline* deadline = nullptr);

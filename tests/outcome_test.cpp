@@ -312,6 +312,71 @@ TEST(OutcomeReach, InjectedVerificationFlipDiscardsDecompositions) {
   EXPECT_TRUE(any_discarded) << "oracle run must decompose something";
 }
 
+// ---------- attempt / ladder budget clamping ------------------------------
+// Deadline treats a non-positive budget as "no deadline", so the naive
+// `min(po_budget_s, remaining_s())` the driver used to apply silently
+// produced *unlimited* attempts on both degenerate ends. These pin the
+// fixed helpers; each test names the old expression it would fail under.
+
+TEST(BudgetClamp, FinitePoBudgetClampsToCircuitRemaining) {
+  Deadline cd(5.0);
+  const double b = core::effective_attempt_budget_s(60.0, cd);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LE(b, 5.0);
+}
+
+TEST(BudgetClamp, UnlimitedPoBudgetInheritsCircuitRemaining) {
+  // Old expression: min(0, remaining) == 0 == "no deadline" — an attempt
+  // with *no* wall budget under a finite circuit budget.
+  Deadline cd(5.0);
+  const double b = core::effective_attempt_budget_s(0.0, cd);
+  EXPECT_GT(b, 0.0) << "unlimited attempt under a finite circuit budget";
+  EXPECT_LE(b, 5.0);
+}
+
+TEST(BudgetClamp, ExpiredCircuitBudgetIsNotUnlimited) {
+  Deadline cd(600.0);
+  cd.force_expire_after_polls(0);  // the circuit budget is spent
+  ASSERT_EQ(cd.remaining_s(), 0.0);
+  // Old expression: min(10, 0) == 0 == "no deadline" — the attempt that
+  // should get nothing got everything.
+  const double b = core::effective_attempt_budget_s(10.0, cd);
+  EXPECT_GT(b, 0.0) << "0 would mean an unlimited attempt";
+  EXPECT_LT(b, 1e-6) << "an expired run grants an instantly-expiring slice";
+  EXPECT_TRUE(Deadline(b).expired());
+}
+
+TEST(BudgetClamp, UnlimitedOnBothSidesStaysUnlimited) {
+  Deadline cd(0.0);  // no circuit budget at all
+  EXPECT_EQ(core::effective_attempt_budget_s(0.0, cd), 0.0);
+  EXPECT_DOUBLE_EQ(core::effective_attempt_budget_s(7.5, cd), 7.5);
+}
+
+TEST(BudgetClamp, RungBudgetIsFiniteUnderUnlimitedPoBudget) {
+  // Old expression: po_budget_s * frac == 0 * 0.25 == 0 — a mem-tripped
+  // cone's "quarter budget" retry ran with no deadline at all.
+  Deadline unlimited(0.0);
+  const double b = core::ladder_rung_budget_s(0.0, 0.25, unlimited);
+  EXPECT_DOUBLE_EQ(b, 0.25 * core::kDefaultRungBudget_s);
+
+  // With a finite circuit budget the rung slices what actually remains.
+  Deadline finite(8.0);
+  const double c = core::ladder_rung_budget_s(0.0, 0.5, finite);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LE(c, 4.0);
+}
+
+TEST(BudgetClamp, RungBudgetClampsToCircuitRemaining) {
+  // Old expression took the raw po_budget_s * frac, skipping the clamp the
+  // primary attempt gets — a late rung could be granted more wall time
+  // than the whole run had left (30 s here, against a spent run).
+  Deadline cd(600.0);
+  cd.force_expire_after_polls(0);
+  const double b = core::ladder_rung_budget_s(60.0, 0.5, cd);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 1e-6);
+}
+
 // ---------- degradation ladder --------------------------------------------
 
 TEST(OutcomeLadder, MemTrippedConeDegradesToVerifiedConclusion) {
@@ -349,6 +414,27 @@ TEST(OutcomeLadder, MemTrippedConeDegradesToVerifiedConclusion) {
   // The primary attempt still tripped — the ladder pays for the retry, it
   // does not erase the trip from the governor's books.
   EXPECT_GE(ladder_gov.cones_tripped(), 1u);
+}
+
+TEST(OutcomeLadder, MemTrippedConeDegradesUnderUnlimitedPoBudget) {
+  // po_budget_s == 0 ("no per-PO deadline") used to hand ladder rungs a
+  // 0 * frac == 0 budget — unlimited, not a slice. The fixed rung budget
+  // is a finite kDefaultRungBudget_s-scaled slice and still concludes.
+  const aig::Aig circ = benchgen::parity_tree(16);
+  core::DecomposeOptions opts =
+      base_opts(core::Engine::kQbfCombined, core::GateOp::kXor);
+  opts.bootstrap_with_mg = false;
+  opts.po_budget_s = 0.0;
+  ResourceGovernor gov({/*soft_cone_bytes=*/384u << 10, /*hard=*/0});
+  core::ParallelDriverOptions par;
+  par.governor = &gov;
+  par.degrade = true;
+  const auto r = core::run_circuit(circ, "par16", opts, 600.0, par);
+  ASSERT_EQ(r.pos.size(), 1u);
+  EXPECT_EQ(r.pos[0].status, core::DecomposeStatus::kDecomposed);
+  EXPECT_EQ(r.pos[0].reason, core::OutcomeReason::kOk);
+  EXPECT_TRUE(r.pos[0].degraded);
+  EXPECT_GE(gov.cones_tripped(), 1u);
 }
 
 TEST(OutcomeLadder, CircuitLevelFailuresAreNotRetried) {

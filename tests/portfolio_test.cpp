@@ -1,0 +1,304 @@
+// Engine-portfolio contract tests: the probe and the race plan are pure
+// functions of the cone (deterministic across re-probes and thread
+// counts), raced answers equal the fixed-engine oracle's on every cone,
+// and the portfolio's -j1 / -j8 runs report identical statuses and
+// probe/race/cancel counters. Pool-transfer counts are timing-dependent
+// by design and only checked against their invariants.
+
+#include "core/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchgen/generators.h"
+#include "common/race.h"
+#include "core/circuit_driver.h"
+
+namespace step {
+namespace {
+
+core::DecomposeOptions generous_opts(core::Engine engine, core::GateOp op) {
+  core::DecomposeOptions o;
+  o.engine = engine;
+  o.op = op;
+  // Budgets far above what these cones need: every engine concludes, so
+  // no wall-clock expiry can leak nondeterminism into the comparisons.
+  o.po_budget_s = 60.0;
+  o.optimum.call_timeout_s = 10.0;
+  return o;
+}
+
+// ---------- probe ----------------------------------------------------------
+
+TEST(PortfolioProbe, IsDeterministicAndSane) {
+  const aig::Aig circ = benchgen::parity_tree(12);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  const core::PortfolioOptions popts;
+  const core::ProbeFeatures a = core::probe_cone(cone, popts);
+  const core::ProbeFeatures b = core::probe_cone(cone, popts);
+  EXPECT_EQ(a.support, 12);
+  EXPECT_EQ(a.support, b.support);
+  EXPECT_EQ(a.ands, b.ands);
+  EXPECT_DOUBLE_EQ(a.onset_density, b.onset_density);
+  EXPECT_DOUBLE_EQ(a.sensitivity, b.sensitivity);
+  EXPECT_EQ(a.hard, b.hard);
+  EXPECT_GE(a.onset_density, 0.0);
+  EXPECT_LE(a.onset_density, 1.0);
+  // Parity flips on every input flip: sensitivity is exactly 1, the onset
+  // is balanced, and 12 inputs are over the hardness threshold.
+  EXPECT_DOUBLE_EQ(a.sensitivity, 1.0);
+  EXPECT_NEAR(a.onset_density, 0.5, 0.2);
+  EXPECT_TRUE(a.hard);
+}
+
+TEST(PortfolioProbe, SmallConesAreNotHard) {
+  const aig::Aig circ = benchgen::ripple_adder(2);  // supports <= 5
+  const core::PortfolioOptions popts;
+  for (std::uint32_t po = 0; po < circ.num_outputs(); ++po) {
+    const core::Cone cone = core::extract_po_cone(circ, po);
+    if (cone.n() < 2) continue;
+    EXPECT_FALSE(core::probe_cone(cone, popts).hard) << "po " << po;
+  }
+}
+
+// ---------- plan -----------------------------------------------------------
+
+core::ProbeFeatures hard_features() {
+  core::ProbeFeatures f;
+  f.support = 14;
+  f.ands = 60;
+  f.sensitivity = 0.8;
+  f.hard = true;
+  return f;
+}
+
+TEST(PortfolioPlan, HardConesRaceWithMgAnchor) {
+  core::PortfolioOptions popts;
+  const core::ProbeFeatures f = hard_features();
+  for (int width : {2, 3}) {
+    popts.race_width = width;
+    const std::vector<core::Engine> plan =
+        core::plan_engines(f, popts, core::Engine::kQbfCombined);
+    ASSERT_EQ(plan.size(), static_cast<std::size_t>(width));
+    // MG anchors every race: the portfolio concludes wherever fixed MG
+    // concludes, which is what the CI gate's #Dec floor relies on.
+    EXPECT_EQ(plan[0], core::Engine::kMg);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      for (std::size_t j = i + 1; j < plan.size(); ++j) {
+        EXPECT_NE(plan[i], plan[j]) << "duplicate engine in the race";
+      }
+    }
+  }
+}
+
+TEST(PortfolioPlan, WidthOneAndEasyConesGoSolo) {
+  core::PortfolioOptions popts;
+  popts.race_width = 1;
+  EXPECT_EQ(core::plan_engines(hard_features(), popts,
+                               core::Engine::kQbfCombined).size(),
+            1u);
+
+  popts.race_width = 3;
+  core::ProbeFeatures tiny;
+  tiny.support = 3;
+  const auto quality =
+      core::plan_engines(tiny, popts, core::Engine::kQbfDisjoint);
+  ASSERT_EQ(quality.size(), 1u);
+  EXPECT_EQ(quality[0], core::Engine::kQbfDisjoint);  // optimum engine
+
+  core::ProbeFeatures medium;
+  medium.support = 8;  // under the hardness cut, over the quality band
+  const auto fast =
+      core::plan_engines(medium, popts, core::Engine::kQbfDisjoint);
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0], core::Engine::kMg);
+}
+
+TEST(PortfolioPlan, NearConstantConesAreNeverRaced) {
+  core::PortfolioOptions popts;
+  const aig::Aig circ = benchgen::parity_tree(12);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  core::ProbeFeatures f = core::probe_cone(cone, popts);
+  f.sensitivity = 0.0;  // a near-constant function, however wide
+  f.hard = (f.support >= popts.hard_support || f.ands >= popts.hard_ands) &&
+           f.sensitivity >= popts.min_sensitivity_to_race;
+  EXPECT_FALSE(f.hard);
+  EXPECT_EQ(core::plan_engines(f, popts, core::Engine::kQbfCombined).size(),
+            1u);
+}
+
+// ---------- raced answers vs. the fixed-engine oracle ----------------------
+
+TEST(PortfolioRace, WinnerAnswersEqualFixedEngineOracle) {
+  // A raced answer may come from any engine, but the *status* is
+  // engine-independent (all engines are sound; non-decomposability is a
+  // property of the cone): whatever fixed-engine runs conclude, the
+  // portfolio must conclude identically, at every race width.
+  const aig::Aig circ =
+      benchgen::merge({benchgen::parity_tree(12), benchgen::ripple_adder(3)});
+  const core::GateOp op = core::GateOp::kXor;
+  const auto opts = generous_opts(core::Engine::kQbfCombined, op);
+
+  const auto mg = core::run_circuit(
+      circ, "mix", generous_opts(core::Engine::kMg, op), 600.0, {1});
+  const auto qdb = core::run_circuit(circ, "mix", opts, 600.0, {1});
+  ASSERT_EQ(mg.pos.size(), qdb.pos.size());
+
+  for (int width : {1, 2, 3}) {
+    SCOPED_TRACE("race width " + std::to_string(width));
+    core::ParallelDriverOptions par;
+    par.portfolio.enabled = true;
+    par.portfolio.race_width = width;
+    const auto r = core::run_circuit(circ, "mix", opts, 600.0, par);
+    ASSERT_EQ(r.pos.size(), mg.pos.size());
+    for (std::size_t i = 0; i < r.pos.size(); ++i) {
+      SCOPED_TRACE("po slot " + std::to_string(i));
+      EXPECT_EQ(r.pos[i].status, mg.pos[i].status);
+      EXPECT_EQ(r.pos[i].status, qdb.pos[i].status);
+      EXPECT_TRUE(r.pos[i].probed);
+      EXPECT_EQ(r.pos[i].raced, width > 1 && r.pos[i].support >= 10);
+    }
+    EXPECT_EQ(r.num_probed(), static_cast<int>(r.pos.size()));
+    if (width > 1) {
+      EXPECT_GE(r.num_raced(), 1) << "the parity cone must race";
+      // Decided races cancel every loser.
+      EXPECT_EQ(r.total_race_cancels(),
+                static_cast<long>(r.num_raced()) * (width - 1));
+    } else {
+      EXPECT_EQ(r.num_raced(), 0);
+    }
+  }
+}
+
+TEST(PortfolioRace, DirectRaceValidatesWinnerAndCountsTransfers) {
+  const aig::Aig circ = benchgen::parity_tree(12);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  const auto opts = generous_opts(core::Engine::kQbfCombined, core::GateOp::kXor);
+  core::PortfolioOptions popts;
+  popts.enabled = true;
+  popts.race_width = 3;
+  RaceScheduler sched(2);
+
+  const core::PortfolioOutcome out =
+      core::decompose_portfolio(cone, opts, popts, &sched);
+  EXPECT_TRUE(out.raced);
+  EXPECT_EQ(out.race_width, 3);
+  ASSERT_EQ(out.result.status, core::DecomposeStatus::kDecomposed);
+  // The winning partition went through decompose_with_partition: it is
+  // extracted and SAT-verified like any fixed-engine result.
+  ASSERT_TRUE(out.result.functions.has_value());
+  EXPECT_TRUE(out.result.verified);
+  EXPECT_EQ(out.race_cancels, 2);
+  // Transfer invariants (the counts themselves are timing-dependent):
+  // each published countermodel can be imported at most once per other
+  // QBF racer, and nothing can be imported that was never published.
+  EXPECT_GE(out.pool_published, 0);
+  EXPECT_LE(out.pool_imported, out.pool_published * (out.race_width - 1));
+}
+
+TEST(PortfolioRace, SoloFallbackWithoutSchedulerMatchesFixedEngine) {
+  const aig::Aig circ = benchgen::parity_tree(12);
+  const core::Cone cone = core::extract_po_cone(circ, 0);
+  const auto opts = generous_opts(core::Engine::kQbfCombined, core::GateOp::kXor);
+  core::PortfolioOptions popts;
+  popts.enabled = true;
+  popts.race_width = 2;
+  const core::PortfolioOutcome out =
+      core::decompose_portfolio(cone, opts, popts, /*sched=*/nullptr);
+  EXPECT_FALSE(out.raced);
+  EXPECT_EQ(out.race_width, 1);
+  EXPECT_EQ(out.result.status, core::DecomposeStatus::kDecomposed);
+}
+
+// ---------- thread-count invariance ----------------------------------------
+
+TEST(PortfolioRace, CountersAndStatusesAreThreadCountInvariant) {
+  // Probe features and race plans are pure functions of the cone, and
+  // with generous budgets every race concludes — so statuses, reasons,
+  // probe/race flags, widths, and cancel counts must all be identical
+  // between a sequential and an 8-worker run. (Winner identity and pool
+  // transfers may differ; they are deliberately not compared.)
+  const aig::Aig circ =
+      benchgen::merge({benchgen::parity_tree(12), benchgen::parity_tree(11),
+                       benchgen::ripple_adder(3)});
+  const auto opts = generous_opts(core::Engine::kQbfCombined, core::GateOp::kXor);
+  core::ParallelDriverOptions p1;
+  p1.num_threads = 1;
+  p1.portfolio.enabled = true;
+  p1.portfolio.race_width = 2;
+  core::ParallelDriverOptions p8 = p1;
+  p8.num_threads = 8;
+
+  const auto seq = core::run_circuit(circ, "mix", opts, 600.0, p1);
+  const auto par = core::run_circuit(circ, "mix", opts, 600.0, p8);
+  ASSERT_EQ(seq.pos.size(), par.pos.size());
+  EXPECT_EQ(seq.outcome_counts(), par.outcome_counts());
+  EXPECT_EQ(seq.num_probed(), par.num_probed());
+  EXPECT_EQ(seq.num_raced(), par.num_raced());
+  EXPECT_EQ(seq.total_race_cancels(), par.total_race_cancels());
+  for (std::size_t i = 0; i < seq.pos.size(); ++i) {
+    SCOPED_TRACE("po slot " + std::to_string(i));
+    EXPECT_EQ(seq.pos[i].status, par.pos[i].status);
+    EXPECT_EQ(seq.pos[i].reason, par.pos[i].reason);
+    EXPECT_EQ(seq.pos[i].probed, par.pos[i].probed);
+    EXPECT_EQ(seq.pos[i].raced, par.pos[i].raced);
+    EXPECT_EQ(seq.pos[i].race_width, par.pos[i].race_width);
+    EXPECT_EQ(seq.pos[i].race_cancels, par.pos[i].race_cancels);
+  }
+}
+
+TEST(PortfolioRace, FaultInjectionDisablesRacingDeterministically) {
+  // The per-cone fault stream is neither thread-safe nor meaningfully
+  // divisible between racers, so an injected run falls back to solo
+  // portfolio — and must stay thread-count invariant like any other
+  // injected run.
+  const aig::Aig circ =
+      benchgen::merge({benchgen::parity_tree(12), benchgen::ripple_adder(3)});
+  const auto opts = generous_opts(core::Engine::kMg, core::GateOp::kXor);
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.rate = 0.1;
+  core::ParallelDriverOptions p1;
+  p1.num_threads = 1;
+  p1.faults = &plan;
+  p1.portfolio.enabled = true;
+  p1.portfolio.race_width = 3;
+  core::ParallelDriverOptions p8 = p1;
+  p8.num_threads = 8;
+  const auto seq = core::run_circuit(circ, "f", opts, 600.0, p1);
+  const auto par = core::run_circuit(circ, "f", opts, 600.0, p8);
+  ASSERT_EQ(seq.pos.size(), par.pos.size());
+  EXPECT_EQ(seq.outcome_counts(), par.outcome_counts());
+  EXPECT_EQ(seq.num_raced(), 0);
+  EXPECT_EQ(par.num_raced(), 0);
+  for (std::size_t i = 0; i < seq.pos.size(); ++i) {
+    EXPECT_EQ(seq.pos[i].status, par.pos[i].status) << "po slot " << i;
+    EXPECT_EQ(seq.pos[i].reason, par.pos[i].reason) << "po slot " << i;
+  }
+}
+
+// ---------- race scheduler -------------------------------------------------
+
+TEST(RaceScheduler, RunsEveryEntryAndReturnsAfterAll) {
+  RaceScheduler sched(2);
+  EXPECT_EQ(sched.helper_threads(), 2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> entries;
+    for (int i = 0; i < 3; ++i) {
+      entries.push_back([&ran] { ran.fetch_add(1); });
+    }
+    sched.run_all(entries);
+    EXPECT_EQ(ran.load(), 3);
+  }
+  std::vector<std::function<void()>> none;
+  sched.run_all(none);  // empty race is a no-op
+}
+
+}  // namespace
+}  // namespace step

@@ -381,5 +381,67 @@ TEST(SolverFuzz, ConflictBudgetsAndInjectedFaultsOnlyLoseAnswers) {
   EXPECT_GT(answers, 0u);
 }
 
+TEST(SolverFuzz, CancelThenResolveLeavesSolverReusable) {
+  // The portfolio's cancel contract (see solve_limited's doc in solver.h):
+  // a solve_limited interrupted at *any* poll point — entry, mid-search,
+  // around restarts and inprocessing — must leave the incremental solver
+  // fully reusable, answering the next solve on the same instance exactly
+  // like a never-interrupted solver. Interruptions are forced
+  // deterministically through the deadline's poll-count seam at varying
+  // depths; the uninterrupted re-solve is checked against the oracle.
+  Rng rng(0xcace1);
+  std::uint64_t cancelled = 0, resolved_sat = 0, resolved_unsat = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int nv = rng.next_int(6, 12);
+    Solver s(modern_config());
+    for (int i = 0; i < nv; ++i) s.set_frozen(s.new_var());
+    std::vector<LitVec> clauses;
+    for (int episode = 0; episode < 4 && s.is_ok(); ++episode) {
+      const int grow = rng.next_int(nv, nv * 2);
+      for (int c = 0; c < grow && s.is_ok(); ++c) {
+        LitVec cl = random_clause(nv, rng);
+        clauses.push_back(cl);
+        s.add_clause(cl);
+      }
+      if (!s.is_ok()) break;
+      LitVec assumptions;
+      const int n_assume = rng.next_int(0, 3);
+      for (int a = 0; a < n_assume; ++a) {
+        assumptions.push_back(mk_lit(rng.next_int(0, nv - 1), rng.next_bool()));
+      }
+
+      // Interrupt: 0 polls cancels at entry, small counts land inside the
+      // search loop. Biased low — these instances solve within a handful
+      // of deadline polls, so deep counts never interrupt anything.
+      Deadline cancel(60.0);
+      const int polls =
+          rng.next_bool() ? rng.next_int(0, 2) : rng.next_int(0, 12);
+      cancel.force_expire_after_polls(polls);
+      if (s.solve_limited(assumptions, -1, &cancel) == Result::kUnknown) {
+        ++cancelled;
+      }
+
+      // Same solver, uninterrupted: no stale trail, no half-applied
+      // rewrite, no lost assumption freeze may survive the interruption.
+      const Result r = s.solve(assumptions);
+      ASSERT_NE(r, Result::kUnknown);
+      ASSERT_EQ(r == Result::kSat, oracle_sat(nv, clauses, assumptions))
+          << "round " << round << " episode " << episode
+          << ": interrupted solver disagrees with the oracle on re-solve";
+      if (r == Result::kSat) {
+        ++resolved_sat;
+        check_model(s, clauses, assumptions);
+      } else {
+        ++resolved_unsat;
+        check_core(s, assumptions);
+      }
+    }
+  }
+  // The sweep must actually interrupt solves and see both answers.
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_GT(resolved_sat, 0u);
+  EXPECT_GT(resolved_unsat, 0u);
+}
+
 }  // namespace
 }  // namespace step::sat
