@@ -1,0 +1,301 @@
+// Large-circuit scaling bench: streaming binary-AIGER parse throughput and
+// memory envelope on 10^5-10^6-gate EPFL-style netlists, plus FIFO vs
+// hardness-scheduler makespan on the giant-cone suite. Emits BENCH_large.json
+// (--json <path>), which the CI large-circuit job gates on:
+//
+//   - bytes_per_node <= 64 for every parsed circuit (arena envelope);
+//   - schedule.measured.makespan_hardness <= makespan_fifo * (1 + margin);
+//   - schedule.j1_vs_jn_identical and fifo_vs_hardness_identical == true.
+//
+// Scale knob: STEP_BENCH_SCALE=tiny|small|full -> ~2e4 / ~1e5 / ~1e6 target
+// AND gates (tiny keeps the smoke-test path fast).
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aig/simulate.h"
+#include "bench_common.h"
+#include "benchgen/epfl.h"
+#include "common/resource.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/schedule.h"
+#include "io/aiger.h"
+
+namespace {
+
+using namespace step;  // NOLINT
+
+std::uint64_t target_for(benchgen::SuiteScale scale) {
+  switch (scale) {
+    case benchgen::SuiteScale::kTiny: return 20'000;
+    case benchgen::SuiteScale::kSmall: return 100'000;
+    case benchgen::SuiteScale::kFull: return 1'000'000;
+  }
+  return 100'000;
+}
+
+/// 64-pattern random simulation signature: one fold over all output words.
+std::uint64_t sim_signature(const aig::Aig& a, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> in(a.num_inputs());
+  for (auto& w : in) w = rng.next();
+  const std::vector<std::uint64_t> out = aig::simulate(a, in);
+  std::uint64_t sig = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t w : out) {
+    sig ^= w + 0x9e3779b97f4a7c15ULL + (sig << 6) + (sig >> 2);
+  }
+  return sig;
+}
+
+struct ParseRow {
+  std::string name;
+  std::uint64_t nodes = 0, ands = 0, inputs = 0, outputs = 0;
+  std::uint64_t binary_bytes = 0;
+  double gen_s = 0.0, write_s = 0.0, parse_s = 0.0;
+  std::uint64_t peak_tracked_bytes = 0;
+  double bytes_per_node = 0.0;
+  std::uint64_t arena_bytes = 0;
+  bool roundtrip_ok = false;
+};
+
+bool same_statuses(const core::CircuitRunResult& a,
+                   const core::CircuitRunResult& b) {
+  if (a.pos.size() != b.pos.size()) return false;
+  bool same = true;
+  for (std::size_t i = 0; i < a.pos.size(); ++i) {
+    if (a.pos[i].po_index != b.pos[i].po_index ||
+        a.pos[i].status != b.pos[i].status ||
+        a.pos[i].reason != b.pos[i].reason) {
+      std::printf("  po %d differs: %d/%s vs %d/%s\n", a.pos[i].po_index,
+                  static_cast<int>(a.pos[i].status),
+                  core::to_string(a.pos[i].reason),
+                  static_cast<int>(b.pos[i].status),
+                  core::to_string(b.pos[i].reason));
+      same = false;
+    }
+  }
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchgen::SuiteScale scale = benchgen::scale_from_env();
+  const std::uint64_t target = target_for(scale);
+  bench::print_preamble("bench_large_circuit", scale);
+  std::printf("# target gates: %llu\n",
+              static_cast<unsigned long long>(target));
+
+  // --emit-dir <dir>: additionally write each generated netlist as a
+  // binary-AIGER file (CI feeds one of these to `step decompose`).
+  std::string emit_dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--emit-dir") emit_dir = argv[i + 1];
+  }
+
+  // ---- streaming parse + memory envelope over the EPFL-style suite ----
+  std::vector<ParseRow> rows;
+  for (benchgen::LargeCircuit& c : benchgen::large_suite(target)) {
+    ParseRow row;
+    row.name = c.name;
+
+    Timer gen;  // suite construction happened above; re-time the writer
+    row.gen_s = gen.elapsed_s();
+
+    Timer wt;
+    const std::string bytes = io::write_aiger_binary(c.aig);
+    row.write_s = wt.elapsed_s();
+    row.binary_bytes = bytes.size();
+    if (!emit_dir.empty()) {
+      const std::string path = emit_dir + "/" + c.name + ".aig";
+      FILE* out = std::fopen(path.c_str(), "wb");
+      if (out == nullptr) {
+        std::perror(path.c_str());
+        return 2;
+      }
+      std::fwrite(bytes.data(), 1, bytes.size(), out);
+      std::fclose(out);
+    }
+
+    ResourceGovernor governor;
+    MemTracker mem(&governor);
+    Timer pt;
+    const aig::Aig back = io::parse_aiger_binary(bytes, &mem);
+    row.parse_s = pt.elapsed_s();
+
+    row.nodes = back.num_nodes();
+    row.ands = back.num_ands();
+    row.inputs = back.num_inputs();
+    row.outputs = back.num_outputs();
+    row.peak_tracked_bytes = governor.peak_run_bytes();
+    row.bytes_per_node =
+        static_cast<double>(row.peak_tracked_bytes) /
+        static_cast<double>(std::max<std::uint64_t>(row.nodes, 1));
+    row.arena_bytes = back.memory_bytes();
+    row.roundtrip_ok =
+        sim_signature(c.aig, 0xC0FFEE) == sim_signature(back, 0xC0FFEE);
+
+    std::printf(
+        "%-22s ands=%-8llu parse=%.3fs peak=%.1fMB bytes/node=%.1f "
+        "roundtrip=%s\n",
+        row.name.c_str(), static_cast<unsigned long long>(row.ands),
+        row.parse_s,
+        static_cast<double>(row.peak_tracked_bytes) / (1024.0 * 1024.0),
+        row.bytes_per_node, row.roundtrip_ok ? "ok" : "MISMATCH");
+    rows.push_back(row);
+  }
+
+  // ---- scheduling: giant cone discovered last vs scheduled first -------
+  // Small enough that every cone actually decomposes within budget (the
+  // point is ordering, not solver stress), with one cone ~100x the rest.
+  // giant_support = 45 keeps the giant cone decisively over every PO
+  // budget tier (it times out deterministically — a borderline cone that
+  // sometimes finishes right at the budget would flake the equality gate).
+  const aig::Aig sched_circuit = benchgen::giant_cone_suite(
+      /*giant_support=*/45, /*n_small=*/120, /*small_support=*/6,
+      /*seed=*/0x5EED);
+  const bench::BenchBudgets budgets = bench::budgets_for(scale);
+  const core::DecomposeOptions opts =
+      bench::engine_options(core::Engine::kLjh, core::GateOp::kOr, budgets);
+
+  core::ParallelDriverOptions par = bench::parallel_from_env_or_args(argc, argv);
+  // Default to an 8-wide pool (the interesting case for makespan); -j /
+  // STEP_BENCH_THREADS still override.
+  const int workers = par.num_threads == 1 ? 8 : par.num_threads;
+
+  auto run_with = [&](core::SchedulePolicy policy, int threads) {
+    core::ParallelDriverOptions p = par;
+    p.schedule = policy;
+    p.num_threads = threads;
+    return core::run_circuit(sched_circuit, "giant_cone_suite", opts,
+                             budgets.circuit_s, p);
+  };
+
+  Timer fifo_wall;
+  const core::CircuitRunResult fifo1 = run_with(core::SchedulePolicy::kFifo, 1);
+  const double fifo_wall_s = fifo_wall.elapsed_s();
+  const core::CircuitRunResult hard1 =
+      run_with(core::SchedulePolicy::kHardness, 1);
+  Timer hard_wall;
+  const core::CircuitRunResult hardn =
+      run_with(core::SchedulePolicy::kHardness, workers);
+  const double hard_wall_s = hard_wall.elapsed_s();
+
+  const bool pure_reorder = same_statuses(fifo1, hard1);
+  const bool thread_invariant = same_statuses(hard1, hardn);
+
+  // Makespan comparison on *measured* per-PO costs (from the sequential
+  // FIFO reference run), replayed through the deterministic list-scheduling
+  // model — wall-clock comparisons of the pool itself are too noisy to
+  // gate CI on.
+  std::vector<double> costs, scores;
+  for (const core::PoOutcome& p : fifo1.pos) {
+    costs.push_back(p.cpu_s);
+    scores.push_back(p.predicted_hardness);
+  }
+  const std::vector<std::size_t> fifo_order =
+      core::schedule_order(scores, core::SchedulePolicy::kFifo);
+  const std::vector<std::size_t> hard_order =
+      core::schedule_order(scores, core::SchedulePolicy::kHardness);
+  const double mk_fifo = core::simulated_makespan(costs, fifo_order, workers);
+  const double mk_hard = core::simulated_makespan(costs, hard_order, workers);
+  // Predicted-vs-actual hardness rank agreement: how often the scheduler's
+  // score ordering matches the measured cost ordering (sampled pairs).
+  std::uint64_t agree = 0, pairs = 0;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    for (std::size_t j = i + 1; j < costs.size(); ++j) {
+      if (costs[i] == costs[j] || scores[i] == scores[j]) continue;
+      ++pairs;
+      if ((costs[i] < costs[j]) == (scores[i] < scores[j])) ++agree;
+    }
+  }
+
+  std::printf(
+      "schedule: pos=%zu workers=%d makespan fifo=%.4fs hardness=%.4fs "
+      "(x%.2f) pure_reorder=%s j1_vs_jn=%s\n",
+      fifo1.pos.size(), workers, mk_fifo, mk_hard,
+      mk_hard > 0 ? mk_fifo / mk_hard : 0.0, pure_reorder ? "ok" : "FAIL",
+      thread_invariant ? "ok" : "FAIL");
+
+  // ---- artifact ---------------------------------------------------------
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(json_path.c_str());
+      return 2;
+    }
+    bench::JsonWriter j(f);
+    j.begin_object();
+    j.kv("bench", "large_circuit");
+    j.kv("scale", bench::scale_name(scale));
+    j.kv("target_gates", target);
+    j.key("circuits");
+    j.begin_array();
+    for (const ParseRow& r : rows) {
+      j.begin_object();
+      j.kv("name", r.name);
+      j.kv("nodes", r.nodes);
+      j.kv("ands", r.ands);
+      j.kv("inputs", r.inputs);
+      j.kv("outputs", r.outputs);
+      j.kv("binary_bytes", r.binary_bytes);
+      j.kv("write_s", r.write_s);
+      j.kv("parse_s", r.parse_s);
+      j.kv("parse_mb_per_s",
+           r.parse_s > 0
+               ? static_cast<double>(r.binary_bytes) / (1e6 * r.parse_s)
+               : 0.0);
+      j.kv("peak_tracked_bytes", r.peak_tracked_bytes);
+      j.kv("bytes_per_node", r.bytes_per_node);
+      j.kv("arena_bytes", r.arena_bytes);
+      j.kv("roundtrip_ok", r.roundtrip_ok);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("schedule");
+    j.begin_object();
+    j.kv("circuit", "giant_cone_suite");
+    j.kv("pos", static_cast<long long>(fifo1.pos.size()));
+    j.kv("workers", workers);
+    j.kv("makespan_fifo_s", mk_fifo);
+    j.kv("makespan_hardness_s", mk_hard);
+    j.kv("wall_fifo_j1_s", fifo_wall_s);
+    j.kv("wall_hardness_jn_s", hard_wall_s);
+    j.kv("fifo_vs_hardness_identical", pure_reorder);
+    j.kv("j1_vs_jn_identical", thread_invariant);
+    j.kv("rank_agreement",
+         pairs > 0 ? static_cast<double>(agree) / static_cast<double>(pairs)
+                   : 1.0);
+    j.key("shape");
+    j.begin_object();
+    j.kv("policy", core::to_string(hardn.schedule.policy));
+    j.kv("jobs", hardn.schedule.jobs);
+    j.kv("outliers", hardn.schedule.outliers);
+    j.kv("batches", hardn.schedule.batches);
+    j.kv("median_score", hardn.schedule.median_score);
+    j.kv("max_score", hardn.schedule.max_score);
+    j.end_object();
+    j.key("outcomes");
+    j.begin_object();
+    j.kv("fifo_decomposed", fifo1.num_decomposed());
+    j.kv("hardness_decomposed", hardn.num_decomposed());
+    j.end_object();  // outcomes
+    j.end_object();  // schedule
+    j.end_object();  // root
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  const bool envelope_ok = [&] {
+    for (const ParseRow& r : rows) {
+      if (!r.roundtrip_ok || r.bytes_per_node > 64.0) return false;
+    }
+    return true;
+  }();
+  return envelope_ok && pure_reorder && thread_invariant ? 0 : 1;
+}

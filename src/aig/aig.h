@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -35,10 +34,20 @@ constexpr Lit lit_with_sign(Lit l, bool complemented) {
 /// sub-DAGs are shared. Node ids are dense and topologically ordered
 /// (fanins precede fanouts), so consumers can sweep nodes with a single
 /// forward loop instead of a DFS when visiting a whole AIG.
+///
+/// Storage is struct-of-arrays: one 32-bit packed fanin literal per vector
+/// slot and nothing else per node, so a million-gate netlist costs
+/// ~12 bytes/node of arena (plus ~17 bytes/node of strash table while
+/// hashed construction is in use) instead of pointer-chasing node objects.
+/// Streaming loaders with pre-ordered input bypass hashing entirely via
+/// add_raw_and() and pre-size the arena with reserve(); memory_bytes()
+/// reports the heap the arena currently holds so readers can charge a
+/// MemTracker as they build.
 class Aig {
  public:
   Aig() {
-    nodes_.push_back({kLitInvalid, kLitInvalid});  // node 0: constant false
+    fanin0_.push_back(kLitInvalid);  // node 0: constant false
+    fanin1_.push_back(kLitInvalid);
     input_index_.push_back(-1);
   }
 
@@ -64,8 +73,34 @@ class Aig {
   Lit lor_many(const std::vector<Lit>& ls);
   Lit lxor_many(const std::vector<Lit>& ls);
 
+  /// Appends an AND node verbatim: no constant folding, no structural
+  /// hashing, no strash insertion. For streaming loaders whose source is
+  /// already topologically ordered (binary AIGER), where node ids must map
+  /// 1:1 onto source variables and the hash table would double the memory
+  /// envelope. Mixing with land() afterwards stays correct — land() may at
+  /// worst rebuild a structural twin of a raw node.
+  Lit add_raw_and(Lit f0, Lit f1) {
+    STEP_CHECK(node_of(f0) < num_nodes() && node_of(f1) < num_nodes());
+    const std::uint32_t node = num_nodes();
+    fanin0_.push_back(f0);
+    fanin1_.push_back(f1);
+    input_index_.push_back(-1);
+    return mk_lit(node);
+  }
+
+  /// Pre-sizes the node arena (and optionally the input/output tables) so
+  /// a loader that knows the final counts builds without reallocation.
+  void reserve(std::uint32_t nodes, std::uint32_t inputs = 0,
+               std::uint32_t outputs = 0);
+
+  /// Heap bytes the arena currently holds: fanin + input-index capacity,
+  /// input/output tables, strash table, and name storage. Capacity-based
+  /// (what the process actually paid), so readers can charge a MemTracker
+  /// faithfully while streaming.
+  std::size_t memory_bytes() const;
+
   // ----- structure ----------------------------------------------------------
-  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(fanin0_.size()); }
   std::uint32_t num_inputs() const { return static_cast<std::uint32_t>(inputs_.size()); }
   std::uint32_t num_outputs() const { return static_cast<std::uint32_t>(outputs_.size()); }
   /// Number of AND gates.
@@ -73,14 +108,14 @@ class Aig {
 
   bool is_const(std::uint32_t node) const { return node == 0; }
   bool is_input(std::uint32_t node) const {
-    return node != 0 && nodes_[node].f0 == kLitInvalid;
+    return node != 0 && fanin0_[node] == kLitInvalid;
   }
   bool is_and(std::uint32_t node) const {
-    return node != 0 && nodes_[node].f0 != kLitInvalid;
+    return node != 0 && fanin0_[node] != kLitInvalid;
   }
 
-  Lit fanin0(std::uint32_t node) const { return nodes_[node].f0; }
-  Lit fanin1(std::uint32_t node) const { return nodes_[node].f1; }
+  Lit fanin0(std::uint32_t node) const { return fanin0_[node]; }
+  Lit fanin1(std::uint32_t node) const { return fanin1_[node]; }
 
   std::uint32_t input_node(std::uint32_t i) const { return inputs_[i]; }
   Lit input_lit(std::uint32_t i) const { return mk_lit(inputs_[i]); }
@@ -103,17 +138,28 @@ class Aig {
   std::uint32_t cone_size(Lit root) const;
 
  private:
-  struct Node {
-    Lit f0, f1;
-  };
+  Lit strash_lookup_or_insert(Lit a, Lit b);
+  void strash_grow();
 
-  std::vector<Node> nodes_;
+  // Struct-of-arrays node arena: per node only the two packed fanin
+  // literals (kLitInvalid marks inputs / the constant) plus the input
+  // position. No per-node heap objects.
+  std::vector<Lit> fanin0_;
+  std::vector<Lit> fanin1_;
+  std::vector<std::int32_t> input_index_;
   std::vector<std::uint32_t> inputs_;
   std::vector<Lit> outputs_;
   std::vector<std::string> input_names_;
   std::vector<std::string> output_names_;
-  std::vector<int> input_index_;
-  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+
+  // Open-addressing strash: key = (a << 32 | b) with a >= 2 after folding,
+  // so key 0 is a safe empty marker; value = node id. Power-of-two
+  // capacity, linear probing, grown at ~70% load. 12 bytes/slot versus
+  // the ~56 bytes/entry of an unordered_map node — the difference between
+  // fitting a million-gate build in the documented envelope and not.
+  std::vector<std::uint64_t> strash_keys_;
+  std::vector<std::uint32_t> strash_vals_;
+  std::size_t strash_used_ = 0;
 };
 
 }  // namespace step::aig

@@ -5,6 +5,10 @@
 
 #include "aig/aig.h"
 
+namespace step {
+class MemTracker;
+}
+
 namespace step::aig {
 
 /// 64-way bit-parallel simulation: `input_words[i]` carries 64 stimulus
@@ -21,6 +25,49 @@ std::uint64_t simulate_cone(const Aig& a, Lit root,
 /// this, so one sweep serves many candidate cuts.
 std::vector<std::uint64_t> simulate_nodes(
     const Aig& a, const std::vector<std::uint64_t>& input_words);
+
+/// Incremental re-simulator restricted to one cone.
+///
+/// Construction walks the cone of `root` once and records just its nodes
+/// (in ascending-id, i.e. topological, order) and its support inputs.
+/// Every subsequent run() then touches only those nodes and reuses one
+/// flat value buffer — on a million-gate netlist a 200-node window
+/// re-simulates in 200 AND operations instead of a whole-network sweep,
+/// and the working set is O(cone), not O(circuit). This is what keeps
+/// run_circuit's per-cone memory inside the MemTracker envelope: the
+/// optional tracker is charged for the simulator's buffers on
+/// construction and refunded on destruction.
+class ConeSimulator {
+ public:
+  ConeSimulator(const Aig& a, Lit root, MemTracker* mem = nullptr);
+  ~ConeSimulator();
+  ConeSimulator(const ConeSimulator&) = delete;
+  ConeSimulator& operator=(const ConeSimulator&) = delete;
+
+  /// Support input indices of the cone, ascending.
+  const std::vector<std::uint32_t>& support() const { return support_; }
+  /// AND nodes in the cone.
+  std::uint32_t num_ands() const { return num_ands_; }
+
+  /// Evaluates the cone on one word per *support position* (aligned with
+  /// support()), returning the root's word.
+  std::uint64_t run(const std::vector<std::uint64_t>& support_words);
+
+ private:
+  MemTracker* mem_;
+  std::size_t charged_ = 0;
+  std::vector<std::uint32_t> support_;
+  std::uint32_t num_ands_ = 0;
+  /// The cone re-expressed over *local* slots: val_[0] is constant false,
+  /// slots 1..|support| the support words, then one slot per cone AND in
+  /// topological order. local_f0_/local_f1_ hold each AND's fanins as
+  /// local literals (2*slot + complement), so run() is a tight loop with
+  /// no per-step id translation.
+  std::vector<Lit> local_f0_;
+  std::vector<Lit> local_f1_;
+  Lit local_root_ = kLitFalse;
+  std::vector<std::uint64_t> val_;
+};
 
 /// Complete truth table of `root` over the given support inputs
 /// (src input indices); support.size() <= 20. Bit b of the table is the

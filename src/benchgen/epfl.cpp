@@ -1,0 +1,295 @@
+#include "benchgen/epfl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace step::benchgen {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+std::vector<Lit> add_inputs(Aig& a, const std::string& prefix, int n) {
+  std::vector<Lit> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = a.add_input(prefix + std::to_string(i));
+  }
+  return v;
+}
+
+/// Full adder: returns {sum, carry}.
+std::pair<Lit, Lit> full_adder(Aig& a, Lit x, Lit y, Lit cin) {
+  const Lit s = a.lxor(a.lxor(x, y), cin);
+  const Lit c = a.lor(a.land(x, y), a.land(cin, a.lxor(x, y)));
+  return {s, c};
+}
+
+std::pair<std::vector<Lit>, Lit> ripple_chain(Aig& a, const std::vector<Lit>& x,
+                                              const std::vector<Lit>& y,
+                                              Lit cin) {
+  STEP_CHECK(x.size() == y.size());
+  std::vector<Lit> sum(x.size());
+  Lit c = cin;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto [s, co] = full_adder(a, x[i], y[i], c);
+    sum[i] = s;
+    c = co;
+  }
+  return {sum, c};
+}
+
+int floor_log2(std::uint64_t n) {
+  int bits = -1;
+  while (n != 0) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Aig epfl_adder(int bits) {
+  STEP_CHECK(bits >= 2);
+  Aig a;
+  a.reserve(static_cast<std::uint32_t>(bits) * 14,
+            static_cast<std::uint32_t>(bits) * 2 + 1,
+            static_cast<std::uint32_t>(bits) + 1);
+  const std::vector<Lit> x = add_inputs(a, "a", bits);
+  const std::vector<Lit> y = add_inputs(a, "b", bits);
+  const Lit cin = a.add_input("cin");
+
+  // Carry-select in 16-bit blocks: two speculative ripples per block, the
+  // incoming carry picks. Adds mux area on top of the ripple cells, which
+  // is exactly what makes it a *large*-circuit generator.
+  constexpr int kBlock = 16;
+  std::vector<Lit> sum(static_cast<std::size_t>(bits));
+  Lit carry = cin;
+  for (int base = 0; base < bits; base += kBlock) {
+    const int w = std::min(kBlock, bits - base);
+    const std::vector<Lit> xs(x.begin() + base, x.begin() + base + w);
+    const std::vector<Lit> ys(y.begin() + base, y.begin() + base + w);
+    auto [s0, c0] = ripple_chain(a, xs, ys, aig::kLitFalse);
+    auto [s1, c1] = ripple_chain(a, xs, ys, aig::kLitTrue);
+    for (int i = 0; i < w; ++i) {
+      sum[static_cast<std::size_t>(base + i)] = a.lmux(carry, s1[i], s0[i]);
+    }
+    carry = a.lmux(carry, c1, c0);
+  }
+  for (int i = 0; i < bits; ++i) {
+    a.add_output(sum[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
+  }
+  a.add_output(carry, "cout");
+  return a;
+}
+
+Aig epfl_multiplier(int bits) {
+  STEP_CHECK(bits >= 2);
+  const std::size_t n = static_cast<std::size_t>(bits);
+  Aig a;
+  a.reserve(static_cast<std::uint32_t>(20ULL * n * n),
+            static_cast<std::uint32_t>(2 * n),
+            static_cast<std::uint32_t>(2 * n));
+  const std::vector<Lit> x = add_inputs(a, "a", bits);
+  const std::vector<Lit> y = add_inputs(a, "b", bits);
+
+  // Partial-product rows, each padded to the full 2n product width (the
+  // padding literals are constants, so the reduction adders fold them away
+  // for free — only genuinely overlapping columns cost gates).
+  std::vector<std::vector<Lit>> rows(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    rows[j].assign(2 * n, aig::kLitFalse);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[j][i + j] = a.land(x[i], y[j]);
+    }
+  }
+
+  // Balanced (Wallace-shaped) reduction: pair rows up level by level so
+  // the adder tree has log2(n) depth instead of a linear accumulation.
+  while (rows.size() > 1) {
+    std::vector<std::vector<Lit>> next;
+    next.reserve(rows.size() / 2 + 1);
+    for (std::size_t k = 0; k + 1 < rows.size(); k += 2) {
+      auto [s, c] = ripple_chain(a, rows[k], rows[k + 1], aig::kLitFalse);
+      (void)c;  // product truncates at 2n bits; the carry out is 0 anyway
+      next.push_back(std::move(s));
+    }
+    if (rows.size() % 2 != 0) next.push_back(std::move(rows.back()));
+    rows = std::move(next);
+  }
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    a.add_output(rows[0][i], "p" + std::to_string(i));
+  }
+  return a;
+}
+
+Aig epfl_barrel_shifter(int width) {
+  STEP_CHECK(is_pow2(width));
+  const int stages = floor_log2(static_cast<std::uint64_t>(width));
+  Aig a;
+  a.reserve(static_cast<std::uint32_t>(4ULL * width * std::max(stages, 1)),
+            static_cast<std::uint32_t>(width + stages),
+            static_cast<std::uint32_t>(width));
+  std::vector<Lit> cur = add_inputs(a, "d", width);
+  const std::vector<Lit> amount = add_inputs(a, "s", stages);
+
+  // Left shift with zero fill, one stage per amount bit.
+  for (int k = 0; k < stages; ++k) {
+    const int step = 1 << k;
+    std::vector<Lit> next(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      const Lit shifted = i >= step ? cur[static_cast<std::size_t>(i - step)]
+                                    : aig::kLitFalse;
+      next[static_cast<std::size_t>(i)] =
+          a.lmux(amount[static_cast<std::size_t>(k)], shifted,
+                 cur[static_cast<std::size_t>(i)]);
+    }
+    cur = std::move(next);
+  }
+  for (int i = 0; i < width; ++i) {
+    a.add_output(cur[static_cast<std::size_t>(i)], "q" + std::to_string(i));
+  }
+  return a;
+}
+
+Aig epfl_mux(int sel_bits) {
+  STEP_CHECK(sel_bits >= 1 && sel_bits <= 24);
+  const std::size_t n = std::size_t{1} << sel_bits;
+  Aig a;
+  a.reserve(static_cast<std::uint32_t>(4 * n),
+            static_cast<std::uint32_t>(n + static_cast<std::size_t>(sel_bits)),
+            1);
+  std::vector<Lit> cur = add_inputs(a, "d", static_cast<int>(n));
+  const std::vector<Lit> sel = add_inputs(a, "s", sel_bits);
+
+  for (int k = 0; k < sel_bits; ++k) {
+    std::vector<Lit> next(cur.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = a.lmux(sel[static_cast<std::size_t>(k)], cur[2 * i + 1],
+                       cur[2 * i]);
+    }
+    cur = std::move(next);
+  }
+  a.add_output(cur[0], "out");
+  return a;
+}
+
+Aig epfl_decoder(int addr_bits) {
+  STEP_CHECK(addr_bits >= 1 && addr_bits <= 24);
+  const std::size_t n = std::size_t{1} << addr_bits;
+  Aig a;
+  a.reserve(static_cast<std::uint32_t>(3 * n),
+            static_cast<std::uint32_t>(addr_bits) + 1,
+            static_cast<std::uint32_t>(n));
+  const std::vector<Lit> addr = add_inputs(a, "a", addr_bits);
+  const Lit en = a.add_input("en");
+
+  // Chain low bit first so neighbouring outputs share strashed prefixes:
+  // the 2^k distinct k-bit prefixes give ~2^(addr_bits+1) gates total.
+  for (std::size_t o = 0; o < n; ++o) {
+    Lit term = en;
+    for (int b = 0; b < addr_bits; ++b) {
+      const Lit bit = addr[static_cast<std::size_t>(b)];
+      term = a.land(term, ((o >> b) & 1) != 0 ? bit : aig::lnot(bit));
+    }
+    a.add_output(term, "y" + std::to_string(o));
+  }
+  return a;
+}
+
+Aig giant_cone_suite(int giant_support, int n_small, int small_support,
+                     std::uint64_t seed) {
+  STEP_CHECK(giant_support >= 3);
+  STEP_CHECK(n_small >= 0);
+  STEP_CHECK(small_support >= 2);
+  Aig a;
+  Rng rng(seed);
+
+  // Small cones FIRST so PO order puts the giant cone last — the
+  // worst case for FIFO, the no-op case for hardest-first.
+  for (int c = 0; c < n_small; ++c) {
+    std::vector<Lit> pool =
+        add_inputs(a, "c" + std::to_string(c) + "_x", small_support);
+    while (pool.size() > 1) {
+      const std::size_t i = rng.next_below(pool.size());
+      Lit u = pool[i];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t j = rng.next_below(pool.size());
+      Lit v = pool[j];
+      if (rng.next_bool()) u = aig::lnot(u);
+      switch (rng.next_below(3)) {
+        case 0: pool[j] = a.land(u, v); break;
+        case 1: pool[j] = a.lor(u, v); break;
+        default: pool[j] = a.lxor(u, v); break;
+      }
+    }
+    a.add_output(pool[0], "small" + std::to_string(c));
+  }
+
+  // The giant cone: majority of three parity towers over disjoint thirds
+  // of a wide fresh input vector. Support = giant_support, and the parity
+  // towers make the cone genuinely expensive to reason about.
+  const std::vector<Lit> gx = add_inputs(a, "gx", giant_support);
+  const int third = giant_support / 3;
+  std::vector<Lit> parts;
+  for (int p = 0; p < 3; ++p) {
+    const int lo = p * third;
+    const int hi = p == 2 ? giant_support : (p + 1) * third;
+    Lit acc = gx[static_cast<std::size_t>(lo)];
+    for (int i = lo + 1; i < hi; ++i) {
+      acc = a.lxor(acc, gx[static_cast<std::size_t>(i)]);
+    }
+    parts.push_back(acc);
+  }
+  const Lit maj = a.lor(a.lor(a.land(parts[0], parts[1]),
+                              a.land(parts[0], parts[2])),
+                        a.land(parts[1], parts[2]));
+  a.add_output(maj, "giant");
+  return a;
+}
+
+std::vector<LargeCircuit> large_suite(std::uint64_t target_gates) {
+  const std::uint64_t t = std::max<std::uint64_t>(target_gates, 1024);
+  std::vector<LargeCircuit> suite;
+
+  const int adder_bits = static_cast<int>(
+      std::clamp<std::uint64_t>(t / 12, 64, 2000000));
+  suite.push_back({"epfl_adder_" + std::to_string(adder_bits),
+                   epfl_adder(adder_bits)});
+
+  const int mult_bits = static_cast<int>(std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::sqrt(static_cast<double>(t) / 15.0)), 16,
+      1024));
+  suite.push_back({"epfl_mult_" + std::to_string(mult_bits),
+                   epfl_multiplier(mult_bits)});
+
+  int shifter_width = 1024;
+  while (shifter_width < (1 << 20) &&
+         4ULL * static_cast<std::uint64_t>(shifter_width) *
+                 static_cast<std::uint64_t>(
+                     floor_log2(static_cast<std::uint64_t>(shifter_width))) <
+             t) {
+    shifter_width *= 2;
+  }
+  suite.push_back({"epfl_shifter_" + std::to_string(shifter_width),
+                   epfl_barrel_shifter(shifter_width)});
+
+  const int mux_sel =
+      std::clamp(floor_log2(t / 3), 8, 20);
+  suite.push_back({"epfl_mux_" + std::to_string(mux_sel), epfl_mux(mux_sel)});
+
+  const int dec_addr = std::clamp(floor_log2(t / 2), 8, 20);
+  suite.push_back(
+      {"epfl_decoder_" + std::to_string(dec_addr), epfl_decoder(dec_addr)});
+
+  return suite;
+}
+
+}  // namespace step::benchgen

@@ -1,137 +1,97 @@
 #include "io/aiger.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
+#include "common/resource.h"
 #include "io/io_error.h"
 
 namespace step::io {
 
 namespace {
 
+/// Sentinel fanin marking "this variable has no AND definition (yet)".
+constexpr std::uint32_t kUndef = 0xffffffffU;
+
 struct AndDef {
-  std::uint32_t rhs0, rhs1;
+  std::uint32_t rhs0 = kUndef;
+  std::uint32_t rhs1 = kUndef;
 };
 
-}  // namespace
-
-aig::Aig parse_aiger(std::string_view text) {
-  std::istringstream is{std::string(text)};
-  std::string magic;
-  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
-  if (!(is >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
-    throw IoError("aiger: expected 'aag M I L O A' header");
+/// Charges reader-side allocations against the caller's MemTracker
+/// *before* they are made and converts a tripped cap into a typed
+/// IoError — the reader's bounded-abandonment path. Refunds on scope
+/// exit; the returned Aig's arena is accounted separately by callers
+/// that keep it.
+class ReaderBudget {
+ public:
+  explicit ReaderBudget(MemTracker* mem) : mem_(mem) {}
+  ~ReaderBudget() {
+    if (mem_ != nullptr) mem_->release(charged_);
   }
-  // Header sanity before any allocation is sized from it: AIGER requires
-  // M >= I + L + A, and every declared object occupies at least two bytes
-  // of text, so a header promising more than the file could possibly hold
-  // is malformed (and would otherwise drive multi-gigabyte allocations).
-  const std::uint64_t byte_limit = text.size() + 64;
-  if (static_cast<std::uint64_t>(i) + l + a > m || m > byte_limit) {
+  ReaderBudget(const ReaderBudget&) = delete;
+  ReaderBudget& operator=(const ReaderBudget&) = delete;
+
+  /// Charge `bytes` more; throws IoError if the cap trips.
+  void charge(std::size_t bytes) {
+    if (mem_ == nullptr) return;
+    mem_->charge(bytes);
+    charged_ += bytes;
+    if (mem_->tripped()) {
+      throw IoError("aiger: memory limit exceeded while reading (tracked " +
+                    std::to_string(mem_->bytes()) + " bytes)");
+    }
+  }
+
+  /// Re-syncs the charge for a structure that grows to `bytes` total
+  /// (charges the delta only).
+  void charge_total(std::size_t bytes, std::size_t& last) {
+    if (bytes > last) {
+      charge(bytes - last);
+      last = bytes;
+    }
+  }
+
+ private:
+  MemTracker* mem_;
+  std::size_t charged_ = 0;
+};
+
+/// Shared header handling: `magic` has been consumed by the caller.
+struct Header {
+  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
+};
+
+Header read_header(std::istream& is, const char* magic) {
+  Header h;
+  if (!(is >> h.m >> h.i >> h.l >> h.o >> h.a)) {
+    throw IoError(std::string("aiger: expected '") + magic +
+                  " M I L O A' header");
+  }
+  if (static_cast<std::uint64_t>(h.i) + h.l + h.a > h.m) {
     throw IoError("aiger: implausible header counts");
   }
+  return h;
+}
 
-  aig::Aig out;
-  // aiger var -> our literal (for the positive literal of that var).
-  std::vector<aig::Lit> var_map(m + 1, aig::kLitInvalid);
-  var_map[0] = aig::kLitFalse;
-
-  auto read_lit = [&]() {
-    std::uint32_t v;
-    if (!(is >> v)) throw IoError("aiger: truncated file");
-    if (v / 2 > m) throw IoError("aiger: literal out of range");
-    return v;
-  };
-
-  std::vector<std::uint32_t> input_lits(i);
-  for (std::uint32_t k = 0; k < i; ++k) {
-    input_lits[k] = read_lit();
-    if (input_lits[k] % 2 != 0 || input_lits[k] == 0) {
-      throw IoError("aiger: input literal must be even, nonzero");
-    }
-    var_map[input_lits[k] / 2] = out.add_input("i" + std::to_string(k));
+/// AIGER requires M >= I + L + A and every declared object occupies at
+/// least ~2 bytes of input, so a header promising more than the input
+/// could possibly hold is malformed (and would otherwise drive
+/// multi-gigabyte allocations). Only applicable when the total size is
+/// known; the MemTracker cap covers pipes/unknown sizes.
+void check_header_plausible(const Header& h, std::uint64_t size_hint) {
+  if (size_hint != 0 && h.m > size_hint + 64) {
+    throw IoError("aiger: implausible header counts");
   }
-  std::vector<std::uint32_t> latch_lits(l), latch_next(l);
-  for (std::uint32_t k = 0; k < l; ++k) {
-    latch_lits[k] = read_lit();
-    latch_next[k] = read_lit();
-    // Optional init value: peek the rest of the line.
-    std::string rest;
-    std::getline(is, rest);
-    if (latch_lits[k] % 2 != 0 || latch_lits[k] == 0) {
-      throw IoError("aiger: latch literal must be even, nonzero");
-    }
-    var_map[latch_lits[k] / 2] = out.add_input("l" + std::to_string(k));
-  }
-  std::vector<std::uint32_t> output_lits(o);
-  for (std::uint32_t k = 0; k < o; ++k) output_lits[k] = read_lit();
+}
 
-  std::unordered_map<std::uint32_t, AndDef> ands;  // var -> fanins
-  for (std::uint32_t k = 0; k < a; ++k) {
-    const std::uint32_t lhs = read_lit();
-    const std::uint32_t rhs0 = read_lit();
-    const std::uint32_t rhs1 = read_lit();
-    if (lhs % 2 != 0 || lhs == 0 || var_map[lhs / 2] != aig::kLitInvalid) {
-      throw IoError("aiger: bad AND definition");
-    }
-    ands.emplace(lhs / 2, AndDef{rhs0, rhs1});
-  }
-
-  // Demand-driven elaboration (ASCII aiger does not promise ordering).
-  // Iterative DFS: a hostile file can declare an AND chain as deep as the
-  // file is long, which would overflow the call stack if recursed.
-  std::vector<char> expanded(m + 1, 0);
-  auto edge = [&](std::uint32_t lit) {
-    return (lit & 1U) != 0 ? aig::lnot(var_map[lit / 2]) : var_map[lit / 2];
-  };
-  auto resolve = [&](std::uint32_t lit) -> aig::Lit {
-    std::vector<std::uint32_t> work{lit / 2};
-    while (!work.empty()) {
-      const std::uint32_t var = work.back();
-      if (var_map[var] != aig::kLitInvalid) {
-        expanded[var] = 0;
-        work.pop_back();
-        continue;
-      }
-      auto it = ands.find(var);
-      if (it == ands.end()) {
-        throw IoError("aiger: undefined variable " +
-                                 std::to_string(var));
-      }
-      const std::uint32_t c0 = it->second.rhs0 / 2;
-      const std::uint32_t c1 = it->second.rhs1 / 2;
-      if (expanded[var]) {
-        // Children were scheduled; unresolved ones now mean a cycle.
-        if (var_map[c0] == aig::kLitInvalid ||
-            var_map[c1] == aig::kLitInvalid) {
-          throw IoError("aiger: cyclic definition");
-        }
-        var_map[var] = out.land(edge(it->second.rhs0), edge(it->second.rhs1));
-        expanded[var] = 0;
-        work.pop_back();
-        continue;
-      }
-      expanded[var] = 1;
-      for (const std::uint32_t c : {c0, c1}) {
-        if (var_map[c] != aig::kLitInvalid) continue;
-        if (expanded[c]) throw IoError("aiger: cyclic definition");
-        work.push_back(c);
-      }
-    }
-    return edge(lit);
-  };
-
-  for (std::uint32_t k = 0; k < o; ++k) {
-    out.add_output(resolve(output_lits[k]), "o" + std::to_string(k));
-  }
-  for (std::uint32_t k = 0; k < l; ++k) {
-    out.add_output(resolve(latch_next[k]), "l" + std::to_string(k) + "_next");
-  }
-
-  // Symbol table and comments.
+/// Reads the trailing symbol table and comments (identical in both
+/// formats: "i<k> name", "l<k> name", "o<k> name", then "c" + comments).
+void read_symbols(std::istream& is, aig::Aig& out, std::uint32_t i,
+                  std::uint32_t l, std::uint32_t o) {
   std::string tok;
   while (is >> tok) {
     if (tok == "c") break;  // comment section
@@ -151,15 +111,301 @@ aig::Aig parse_aiger(std::string_view text) {
       out.set_output_name(idx, name);
     }
   }
+}
+
+aig::Aig parse_ascii(std::istream& is, std::uint64_t size_hint,
+                     MemTracker* mem) {
+  const Header h = read_header(is, "aag");
+  check_header_plausible(h, size_hint);
+  ReaderBudget budget(mem);
+  // Everything sized from the header is charged before allocation: the
+  // var map (4 B/var), the AND-definition table (8 B/var) and the node
+  // arena (~12 B/node). A hostile header trips the cap right here.
+  budget.charge(static_cast<std::size_t>(h.m + 1) * (4 + 8) +
+                static_cast<std::size_t>(h.i + h.l + h.a + 1) * 12);
+
+  aig::Aig out;
+  out.reserve(1 + h.i + h.l + h.a, h.i + h.l, h.o + h.l);
+  // aiger var -> our literal (for the positive literal of that var).
+  std::vector<aig::Lit> var_map(h.m + 1, aig::kLitInvalid);
+  var_map[0] = aig::kLitFalse;
+
+  auto read_lit = [&]() {
+    std::uint32_t v;
+    if (!(is >> v)) throw IoError("aiger: truncated file");
+    if (v / 2 > h.m) throw IoError("aiger: literal out of range");
+    return v;
+  };
+
+  std::vector<std::uint32_t> input_lits(h.i);
+  for (std::uint32_t k = 0; k < h.i; ++k) {
+    input_lits[k] = read_lit();
+    if (input_lits[k] % 2 != 0 || input_lits[k] == 0) {
+      throw IoError("aiger: input literal must be even, nonzero");
+    }
+    if (var_map[input_lits[k] / 2] != aig::kLitInvalid) {
+      throw IoError("aiger: bad AND definition");
+    }
+    var_map[input_lits[k] / 2] = out.add_input("i" + std::to_string(k));
+  }
+  std::vector<std::uint32_t> latch_lits(h.l), latch_next(h.l);
+  for (std::uint32_t k = 0; k < h.l; ++k) {
+    latch_lits[k] = read_lit();
+    latch_next[k] = read_lit();
+    // Optional init value: peek the rest of the line.
+    std::string rest;
+    std::getline(is, rest);
+    if (latch_lits[k] % 2 != 0 || latch_lits[k] == 0) {
+      throw IoError("aiger: latch literal must be even, nonzero");
+    }
+    var_map[latch_lits[k] / 2] = out.add_input("l" + std::to_string(k));
+  }
+  std::vector<std::uint32_t> output_lits(h.o);
+  for (std::uint32_t k = 0; k < h.o; ++k) output_lits[k] = read_lit();
+
+  // AND definitions indexed by var (8 B/slot, charged above) instead of a
+  // node-based hash map: at a million gates the difference is the memory
+  // envelope.
+  std::vector<AndDef> ands(h.m + 1);
+  for (std::uint32_t k = 0; k < h.a; ++k) {
+    const std::uint32_t lhs = read_lit();
+    const std::uint32_t rhs0 = read_lit();
+    const std::uint32_t rhs1 = read_lit();
+    if (lhs % 2 != 0 || lhs == 0 || var_map[lhs / 2] != aig::kLitInvalid ||
+        ands[lhs / 2].rhs0 != kUndef) {
+      throw IoError("aiger: bad AND definition");
+    }
+    ands[lhs / 2] = {rhs0, rhs1};
+  }
+
+  // Demand-driven elaboration (ASCII aiger does not promise ordering).
+  // Iterative DFS: a hostile file can declare an AND chain as deep as the
+  // file is long, which would overflow the call stack if recursed.
+  std::vector<char> expanded(h.m + 1, 0);
+  std::size_t arena_charged = 0;
+  auto edge = [&](std::uint32_t lit) {
+    return (lit & 1U) != 0 ? aig::lnot(var_map[lit / 2]) : var_map[lit / 2];
+  };
+  auto resolve = [&](std::uint32_t lit) -> aig::Lit {
+    std::vector<std::uint32_t> work{lit / 2};
+    while (!work.empty()) {
+      const std::uint32_t var = work.back();
+      if (var_map[var] != aig::kLitInvalid) {
+        expanded[var] = 0;
+        work.pop_back();
+        continue;
+      }
+      if (ands[var].rhs0 == kUndef) {
+        throw IoError("aiger: undefined variable " + std::to_string(var));
+      }
+      const std::uint32_t c0 = ands[var].rhs0 / 2;
+      const std::uint32_t c1 = ands[var].rhs1 / 2;
+      if (expanded[var]) {
+        // Children were scheduled; unresolved ones now mean a cycle.
+        if (var_map[c0] == aig::kLitInvalid ||
+            var_map[c1] == aig::kLitInvalid) {
+          throw IoError("aiger: cyclic definition");
+        }
+        var_map[var] = out.land(edge(ands[var].rhs0), edge(ands[var].rhs1));
+        expanded[var] = 0;
+        work.pop_back();
+        // Track arena growth (strash included) every so often, so even a
+        // legitimately huge netlist respects the cap while it builds.
+        if ((out.num_nodes() & 0xffffU) == 0) {
+          budget.charge_total(out.memory_bytes(), arena_charged);
+        }
+        continue;
+      }
+      expanded[var] = 1;
+      for (const std::uint32_t c : {c0, c1}) {
+        if (var_map[c] != aig::kLitInvalid) continue;
+        if (expanded[c]) throw IoError("aiger: cyclic definition");
+        work.push_back(c);
+      }
+    }
+    return edge(lit);
+  };
+
+  for (std::uint32_t k = 0; k < h.o; ++k) {
+    out.add_output(resolve(output_lits[k]), "o" + std::to_string(k));
+  }
+  for (std::uint32_t k = 0; k < h.l; ++k) {
+    out.add_output(resolve(latch_next[k]), "l" + std::to_string(k) + "_next");
+  }
+  budget.charge_total(out.memory_bytes(), arena_charged);
+
+  read_symbols(is, out, h.i, h.l, h.o);
   return out;
 }
 
-aig::Aig read_aiger_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw IoError("aiger: cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return parse_aiger(ss.str());
+/// Decodes one unsigned LEB128-style varint (7 data bits per byte, high
+/// bit = continuation). Typed rejects for truncation and for deltas that
+/// overflow the 32-bit literal space.
+std::uint32_t read_varint(std::istream& is) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw IoError("aiger: truncated binary AND section");
+    }
+    value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 35) {
+      throw IoError("aiger: delta overflows 32 bits");
+    }
+  }
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw IoError("aiger: delta overflows 32 bits");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+aig::Aig parse_binary(std::istream& is, std::uint64_t size_hint,
+                      MemTracker* mem) {
+  const Header h = read_header(is, "aig");
+  // Binary AIGER admits no variable gaps: every var is an input, a latch
+  // or exactly one delta-coded AND.
+  if (static_cast<std::uint64_t>(h.i) + h.l + h.a != h.m) {
+    throw IoError("aiger: binary header requires M = I + L + A");
+  }
+  // Each AND occupies at least two bytes (one varint byte per delta), so
+  // a header promising more gates than the input holds is malformed.
+  if (size_hint != 0 && static_cast<std::uint64_t>(h.a) * 2 > size_hint) {
+    throw IoError("aiger: implausible header counts");
+  }
+  ReaderBudget budget(mem);
+  // The entire arena is header-sized; charge it up front so a hostile
+  // header trips the cap before the first allocation.
+  budget.charge(static_cast<std::size_t>(h.m + 1) * 12 +
+                static_cast<std::size_t>(h.o + h.l) * 8);
+
+  aig::Aig out;
+  out.reserve(1 + h.m, h.i + h.l, h.o + h.l);
+  // Inputs are implicit (vars 1..I), latches follow (vars I+1..I+L); the
+  // arena's node ids coincide with AIGER variables exactly, so literals
+  // need no translation at all.
+  for (std::uint32_t k = 0; k < h.i; ++k) {
+    out.add_input("i" + std::to_string(k));
+  }
+
+  // Swallow the rest of the header line before the latch/output lines.
+  std::string rest;
+  std::getline(is, rest);
+
+  auto read_lit_line = [&]() {
+    std::uint32_t v;
+    if (!(is >> v)) throw IoError("aiger: truncated file");
+    if (v / 2 > h.m) throw IoError("aiger: literal out of range");
+    std::getline(is, rest);  // latch init values / line end
+    return v;
+  };
+
+  std::vector<std::uint32_t> latch_next(h.l);
+  for (std::uint32_t k = 0; k < h.l; ++k) {
+    latch_next[k] = read_lit_line();
+    out.add_input("l" + std::to_string(k));
+  }
+  std::vector<std::uint32_t> output_lits(h.o);
+  for (std::uint32_t k = 0; k < h.o; ++k) output_lits[k] = read_lit_line();
+
+  // Single-pass arena build over the delta-coded AND section. The format
+  // guarantees lhs = 2*(I+L+k+1) (strictly increasing), rhs0 < lhs and
+  // rhs1 <= rhs0 — exactly a topological order — so every fanin already
+  // exists when its fanout arrives and no elaboration map is needed.
+  // Violations are data corruption and rejected typed.
+  std::size_t arena_charged = 0;
+  for (std::uint32_t k = 0; k < h.a; ++k) {
+    const std::uint32_t lhs = 2 * (h.i + h.l + k + 1);
+    const std::uint32_t delta0 = read_varint(is);
+    if (delta0 == 0 || delta0 > lhs) {
+      throw IoError("aiger: non-monotone literal delta (AND " +
+                    std::to_string(k) + ")");
+    }
+    const std::uint32_t rhs0 = lhs - delta0;
+    const std::uint32_t delta1 = read_varint(is);
+    if (delta1 > rhs0) {
+      throw IoError("aiger: non-monotone literal delta (AND " +
+                    std::to_string(k) + ")");
+    }
+    const std::uint32_t rhs1 = rhs0 - delta1;
+    out.add_raw_and(rhs0, rhs1);
+    if ((k & 0xffffU) == 0xffffU) {
+      budget.charge_total(out.memory_bytes(), arena_charged);
+    }
+  }
+
+  for (std::uint32_t k = 0; k < h.o; ++k) {
+    out.add_output(output_lits[k], "o" + std::to_string(k));
+  }
+  for (std::uint32_t k = 0; k < h.l; ++k) {
+    out.add_output(latch_next[k], "l" + std::to_string(k) + "_next");
+  }
+  budget.charge_total(out.memory_bytes(), arena_charged);
+
+  read_symbols(is, out, h.i, h.l, h.o);
+  return out;
+}
+
+/// Reads the magic token and dispatches; `size_hint` 0 = unknown.
+aig::Aig parse_dispatch(std::istream& is, std::uint64_t size_hint,
+                        MemTracker* mem) {
+  std::string magic;
+  if (!(is >> magic)) throw IoError("aiger: empty input");
+  if (magic == "aag") return parse_ascii(is, size_hint, mem);
+  if (magic == "aig") return parse_binary(is, size_hint, mem);
+  throw IoError("aiger: expected 'aag' or 'aig' magic, got '" + magic + "'");
+}
+
+void write_varint(std::string& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+}  // namespace
+
+aig::Aig parse_aiger(std::string_view text, MemTracker* mem) {
+  std::istringstream is{std::string(text)};
+  std::string magic;
+  if (!(is >> magic) || magic != "aag") {
+    throw IoError("aiger: expected 'aag M I L O A' header");
+  }
+  return parse_ascii(is, text.size() + 64, mem);
+}
+
+aig::Aig parse_aiger_binary(std::string_view bytes, MemTracker* mem) {
+  std::istringstream is{std::string(bytes)};
+  std::string magic;
+  if (!(is >> magic) || magic != "aig") {
+    throw IoError("aiger: expected 'aig M I L O A' header");
+  }
+  return parse_binary(is, bytes.size() + 64, mem);
+}
+
+aig::Aig parse_aiger_stream(std::istream& in, std::uint64_t size_hint,
+                            MemTracker* mem) {
+  return parse_dispatch(in, size_hint, mem);
+}
+
+aig::Aig read_aiger_file(const std::string& path, MemTracker* mem) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("aiger: cannot open '" + path + "'", path);
+  // The file streams through the parser — it is never slurped into a
+  // string, so the transient footprint is the arena plus parser state,
+  // both under the MemTracker's eye.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t size =
+      in.good() ? static_cast<std::uint64_t>(in.tellg()) : 0;
+  in.seekg(0, std::ios::beg);
+  try {
+    return parse_dispatch(in, size, mem);
+  } catch (const IoError& e) {
+    throw IoError(e.what(), path);
+  }
 }
 
 std::string write_aiger(const aig::Aig& a) {
@@ -188,11 +434,63 @@ std::string write_aiger(const aig::Aig& a) {
   return os.str();
 }
 
+std::string write_aiger_binary(const aig::Aig& a) {
+  // The binary format demands vars 1..I be the inputs and AND lhs vars
+  // strictly increasing, so nodes are renumbered: inputs first (in input
+  // order), then AND nodes in id (= topological) order. Fanin vars are
+  // always below their fanout's var, which the delta coding requires.
+  const std::uint32_t n_in = a.num_inputs();
+  std::vector<std::uint32_t> var_of(a.num_nodes(), 0);
+  for (std::uint32_t k = 0; k < n_in; ++k) var_of[a.input_node(k)] = k + 1;
+  std::uint32_t next_var = n_in;
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (a.is_and(n)) var_of[n] = ++next_var;
+  }
+  auto map_lit = [&](aig::Lit l) {
+    return 2 * var_of[aig::node_of(l)] +
+           static_cast<std::uint32_t>(aig::is_complemented(l));
+  };
+
+  std::string out;
+  {
+    std::ostringstream os;
+    os << "aig " << next_var << ' ' << n_in << " 0 " << a.num_outputs() << ' '
+       << a.num_ands() << '\n';
+    for (std::uint32_t k = 0; k < a.num_outputs(); ++k) {
+      os << map_lit(a.output(k)) << '\n';
+    }
+    out = os.str();
+  }
+  for (std::uint32_t n = 1; n < a.num_nodes(); ++n) {
+    if (!a.is_and(n)) continue;
+    const std::uint32_t lhs = 2 * var_of[n];
+    std::uint32_t rhs0 = map_lit(a.fanin0(n));
+    std::uint32_t rhs1 = map_lit(a.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    write_varint(out, lhs - rhs0);
+    write_varint(out, rhs0 - rhs1);
+  }
+  {
+    std::ostringstream os;
+    for (std::uint32_t k = 0; k < n_in; ++k) {
+      os << 'i' << k << ' ' << a.input_name(k) << '\n';
+    }
+    for (std::uint32_t k = 0; k < a.num_outputs(); ++k) {
+      os << 'o' << k << ' ' << a.output_name(k) << '\n';
+    }
+    out += os.str();
+  }
+  return out;
+}
+
 void write_aiger_file(const aig::Aig& a, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw IoError("aiger: cannot write '" + path + "'");
-  out << write_aiger(a);
-  if (!out) throw IoError("aiger: write failed for '" + path + "'");
+  const bool binary =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".aig") == 0;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("aiger: cannot write '" + path + "'", path);
+  const std::string text = binary ? write_aiger_binary(a) : write_aiger(a);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw IoError("aiger: write failed for '" + path + "'", path);
 }
 
 }  // namespace step::io

@@ -1,24 +1,61 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
 #include "aig/aig.h"
 
+namespace step {
+class MemTracker;
+}
+
 namespace step::io {
 
-/// ASCII AIGER ("aag") reader/writer. AIGER's literal encoding
-/// (2*var + complement, 0 = false) matches step::aig's exactly, so the
-/// mapping is direct. Latches are cut combinationally on read (latch
-/// output -> PI, next-state -> PO), consistent with the paper's `comb`
-/// treatment; symbol-table names are honoured when present.
-aig::Aig parse_aiger(std::string_view text);
+/// AIGER reader/writer, ASCII ("aag") and binary ("aig") formats.
+///
+/// AIGER's literal encoding (2*var + complement, 0 = false) matches
+/// step::aig's exactly, so the ASCII mapping is direct; the binary
+/// format's ordering guarantees (AND left-hand sides strictly increasing,
+/// fanins strictly below them) additionally permit a single-pass arena
+/// build with node ids mapping 1:1 onto AIGER variables — no intermediate
+/// representation, no elaboration map. Latches are cut combinationally on
+/// read (latch output -> PI, next-state -> PO), consistent with the
+/// paper's `comb` treatment; symbol-table names are honoured when present.
+///
+/// Every reader takes an optional MemTracker: header-derived and arena
+/// allocations are charged against it *before* they happen, so a hostile
+/// header or a genuinely huge input trips the configured soft cap with a
+/// typed IoError ("memory limit exceeded") instead of driving the process
+/// into the OOM killer.
+aig::Aig parse_aiger(std::string_view text, MemTracker* mem = nullptr);
 
-aig::Aig read_aiger_file(const std::string& path);
+/// Binary-format parse of an in-memory buffer (delta-coded AND section).
+/// Rejects non-monotone or 32-bit-overflowing literal deltas and
+/// truncated streams with typed IoError.
+aig::Aig parse_aiger_binary(std::string_view bytes, MemTracker* mem = nullptr);
+
+/// Streaming parse of either format from an open stream (the file reader
+/// uses this, so multi-hundred-megabyte netlists are never slurped into a
+/// string first). `size_hint` is the total byte size when known (0 =
+/// unknown) and bounds the header sanity checks.
+aig::Aig parse_aiger_stream(std::istream& in, std::uint64_t size_hint = 0,
+                            MemTracker* mem = nullptr);
+
+/// Reads a file in either format, dispatching on the header magic
+/// ("aag" vs "aig"), streaming the contents.
+aig::Aig read_aiger_file(const std::string& path, MemTracker* mem = nullptr);
 
 /// Writes a combinational AIG as ASCII AIGER with a full symbol table.
 std::string write_aiger(const aig::Aig& a);
 
+/// Writes a combinational AIG as binary AIGER (delta-coded AND section)
+/// with a full symbol table. Inputs and ANDs are renumbered into the
+/// format's required order; the result re-reads into an isomorphic AIG.
+std::string write_aiger_binary(const aig::Aig& a);
+
+/// Writes ASCII by default; a path ending in ".aig" selects the binary
+/// format.
 void write_aiger_file(const aig::Aig& a, const std::string& path);
 
 }  // namespace step::io

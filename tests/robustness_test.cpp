@@ -172,6 +172,7 @@ TEST(RobustnessCorpus, EveryCorpusFileParsesOrThrowsRuntimeError) {
     try {
       if (ext == ".blif") io::parse_blif(text).to_aig();
       if (ext == ".aag") io::parse_aiger(text);
+      if (ext == ".aig") io::parse_aiger_binary(text);
       if (ext == ".pla") io::parse_pla(text).to_aig();
     } catch (const std::runtime_error&) {
       // the expected rejection path

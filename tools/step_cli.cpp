@@ -21,6 +21,7 @@
 #include "common/resource.h"
 #include "core/circuit_driver.h"
 #include "core/synthesis.h"
+#include "io/aiger.h"
 #include "io/blif_reader.h"
 #include "io/blif_writer.h"
 #include "io/comb.h"
@@ -59,6 +60,7 @@ struct CliOptions {
   bool portfolio = false;
   int race_width = 2;
   bool portfolio_stats = false;
+  core::SchedulePolicy schedule = core::SchedulePolicy::kFifo;
   aig::WindowOptions window;
   sat::SolverOptions sat;
   // Resource governance / fault injection (PR 7).
@@ -69,12 +71,16 @@ struct CliOptions {
 };
 
 constexpr const char kHelpText[] =
-    "usage: step <command> <circuit.blif> [options]\n"
+    "usage: step <command> <circuit> [options]\n"
     "\n"
     "commands:\n"
     "  decompose   per-PO bi-decomposition report (one split per output)\n"
     "  resynth     recursive resynthesis into a two-input-gate BLIF netlist\n"
     "  stats       circuit statistics (PO supports, decomposable candidates)\n"
+    "\n"
+    "input formats (picked by extension): .blif, .aag (ASCII AIGER) and\n"
+    ".aig (binary AIGER, streamed — suitable for million-gate netlists);\n"
+    "latches are cut combinationally in all three.\n"
     "\n"
     "decomposition options:\n"
     "  -op <or|and|xor>          top gate of the decomposition (default or)\n"
@@ -88,6 +94,13 @@ constexpr const char kHelpText[] =
     "  --verify                  resynth/recursive: SAT-prove every PO tree\n"
     "  --no-cache                resynth/recursive: disable the NPN cache\n"
     "  -j <n>                    worker threads (0 = one per hardware thread)\n"
+    "  --schedule <fifo|hardness>  decompose: PO job order (default fifo).\n"
+    "                            hardness scores every cone (support width,\n"
+    "                            estimated size) and runs hardest-first so\n"
+    "                            wide pools never idle behind a giant cone\n"
+    "                            found late; a pure reordering — per-PO\n"
+    "                            results match fifo's whenever no circuit\n"
+    "                            budget expires mid-run\n"
     "  -o <out.blif>             resynth output file (default stdout)\n"
     "\n"
     "don't-care options (see docs/ARCHITECTURE.md § Don't-care windows):\n"
@@ -169,8 +182,11 @@ constexpr const char kHelpText[] =
     "reporting options:\n"
     "  --stats                   print aggregated solver-cost counters\n"
     "                            (SAT/QBF calls, CEGAR iterations, conflicts,\n"
-    "                            restarts, tiers, inprocessing) and the\n"
-    "                            per-reason outcome taxonomy after the run\n"
+    "                            restarts, tiers, inprocessing), the\n"
+    "                            per-reason outcome taxonomy and the schedule\n"
+    "                            shape (policy, outliers, batches,\n"
+    "                            predicted-vs-actual hardness agreement)\n"
+    "                            after the run\n"
     "  --cache-stats             print NPN-decomposition-cache counters\n"
     "  --help                    this reference\n"
     "\n"
@@ -269,6 +285,18 @@ CliOptions parse_args(int argc, char** argv) {
       cli.portfolio_stats = true;
     } else if (flag == "-j") {
       cli.num_threads = std::atoi(value());
+    } else if (flag == "--schedule" || flag == "-schedule") {
+      const std::string v = value();
+      if (v == "fifo") {
+        cli.schedule = core::SchedulePolicy::kFifo;
+      } else if (v == "hardness") {
+        cli.schedule = core::SchedulePolicy::kHardness;
+      } else {
+        std::fprintf(stderr,
+                     "step: --schedule expects fifo or hardness, got %s\n",
+                     v.c_str());
+        usage();
+      }
     } else if (flag == "-o") {
       cli.output = value();
     } else if (flag == "-restarts") {
@@ -368,6 +396,7 @@ core::ParallelDriverOptions driver_options(const CliOptions& cli,
   par.degrade = cli.degrade;
   par.portfolio.enabled = cli.portfolio;
   par.portfolio.race_width = cli.race_width;
+  par.schedule = cli.schedule;
   return par;
 }
 
@@ -468,6 +497,27 @@ int cmd_decompose(const CliOptions& cli, const io::Network& net,
   if (cli.print_stats) {
     std::printf("# outcomes: %s degraded=%d\n",
                 run.outcome_counts().to_string().c_str(), run.num_degraded());
+    // Predicted-vs-actual hardness: the fraction of cone pairs whose
+    // predicted-score ordering matches their measured-cpu ordering.
+    std::uint64_t agree = 0, pairs = 0;
+    for (std::size_t i = 0; i < run.pos.size(); ++i) {
+      for (std::size_t k = i + 1; k < run.pos.size(); ++k) {
+        const auto& a = run.pos[i];
+        const auto& b = run.pos[k];
+        if (a.cpu_s == b.cpu_s || a.predicted_hardness == b.predicted_hardness)
+          continue;
+        ++pairs;
+        if ((a.cpu_s < b.cpu_s) == (a.predicted_hardness < b.predicted_hardness))
+          ++agree;
+      }
+    }
+    std::printf("# schedule: policy=%s jobs=%d outliers=%d batches=%d"
+                " rank_agreement=%.2f\n",
+                core::to_string(run.schedule.policy), run.schedule.jobs,
+                run.schedule.outliers, run.schedule.batches,
+                pairs > 0
+                    ? static_cast<double>(agree) / static_cast<double>(pairs)
+                    : 1.0);
     if (has_governor(cli)) {
       std::printf("# mem: peak=%zu bytes cones_tripped=%llu\n",
                   governor.peak_run_bytes(),
@@ -646,8 +696,31 @@ int main(int argc, char** argv) try {
     throw io::IoError("injected I/O fault (fault plan enables kind 'i')",
                       cli.input);
   }
-  const io::Network net = io::read_blif_file(cli.input);
-  const aig::Aig circuit = io::to_combinational(net);
+  // Input dispatch by extension: AIGER (.aag ASCII, .aig binary streamed)
+  // arrives as an already-combinational AIG (latches cut by the reader);
+  // everything else goes through the BLIF elaborator.
+  io::Network net;
+  aig::Aig circuit;
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return cli.input.size() >= n &&
+           cli.input.compare(cli.input.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".aag") || ends_with(".aig")) {
+    circuit = io::read_aiger_file(cli.input);
+    const std::size_t slash = cli.input.find_last_of('/');
+    net.name = slash == std::string::npos ? cli.input
+                                          : cli.input.substr(slash + 1);
+    for (std::uint32_t i = 0; i < circuit.num_inputs(); ++i) {
+      net.inputs.push_back(circuit.input_name(i));
+    }
+    for (std::uint32_t o = 0; o < circuit.num_outputs(); ++o) {
+      net.outputs.push_back(circuit.output_name(o));
+    }
+  } else {
+    net = io::read_blif_file(cli.input);
+    circuit = io::to_combinational(net);
+  }
 
   if (cli.command == "stats") return cmd_stats(net, circuit);
   if (cli.command == "decompose") {
