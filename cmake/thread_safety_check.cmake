@@ -1,0 +1,29 @@
+# Negative-compile check for the thread-safety contracts.
+#
+# Builds tests/negative/thread_safety_negative.cpp — which reads a
+# STEP_GUARDED_BY field of core::DecCache without holding its mutex — and
+# asserts that the build FAILS. This pins the whole chain: the annotation
+# macros expand to real attributes, -Werror=thread-safety is live, and the
+# cache's fields actually carry the guard. If any link silently degrades
+# (macro gated off, flag dropped, annotation removed), the probe compiles
+# and the test turns red.
+#
+# Clang-only: gcc expands the annotations to nothing, so the probe would
+# (correctly) compile there.
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  add_executable(thread_safety_negative EXCLUDE_FROM_ALL
+    ${CMAKE_CURRENT_SOURCE_DIR}/tests/negative/thread_safety_negative.cpp)
+  target_link_libraries(thread_safety_negative PRIVATE step_lib)
+
+  add_test(NAME thread_safety_negative_compile
+    COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+            --target thread_safety_negative)
+  # The build must fail; a successful compile fails the test.
+  set_tests_properties(thread_safety_negative_compile PROPERTIES
+    WILL_FAIL TRUE
+    TIMEOUT 300
+    # Serial: drives the build tool inside the build tree, which must not
+    # race a concurrent test-triggered rebuild.
+    RUN_SERIAL TRUE)
+endif()

@@ -127,4 +127,41 @@ Lit build_from_tt(Aig& dst, const std::vector<std::uint64_t>& tt,
   return build_from_tt_rec(dst, tt, inputs, n, 0);
 }
 
+Aig sweep_dead(const Aig& src) {
+  // Live = in the fanin cone of some output. Node ids are topologically
+  // ordered (fanins precede fanouts), so one reverse sweep marks the
+  // transitive cone.
+  std::vector<bool> live(src.num_nodes(), false);
+  for (std::uint32_t o = 0; o < src.num_outputs(); ++o) {
+    live[node_of(src.output(o))] = true;
+  }
+  for (std::uint32_t node = src.num_nodes(); node-- > 1;) {
+    if (src.is_and(node) && live[node]) {
+      live[node_of(src.fanin0(node))] = true;
+      live[node_of(src.fanin1(node))] = true;
+    }
+  }
+
+  Aig dst;
+  std::vector<Lit> map(src.num_nodes(), kLitInvalid);
+  map[0] = kLitFalse;
+  for (std::uint32_t i = 0; i < src.num_inputs(); ++i) {
+    map[src.input_node(i)] = dst.add_input(src.input_name(i));
+  }
+  auto mapped = [&](Lit l) {
+    return lit_with_sign(map[node_of(l)], is_complemented(l));
+  };
+  for (std::uint32_t node = 1; node < src.num_nodes(); ++node) {
+    if (!src.is_and(node) || !live[node]) continue;
+    // Verbatim copy (no re-strashing): live structure is preserved
+    // exactly, only the dead nodes disappear.
+    map[node] = dst.add_raw_and(mapped(src.fanin0(node)),
+                                mapped(src.fanin1(node)));
+  }
+  for (std::uint32_t o = 0; o < src.num_outputs(); ++o) {
+    dst.add_output(mapped(src.output(o)), src.output_name(o));
+  }
+  return dst;
+}
+
 }  // namespace step::aig

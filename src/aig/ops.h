@@ -40,4 +40,14 @@ Lit cofactor(const Aig& src, Lit root, Aig& dst,
 Lit build_from_tt(Aig& dst, const std::vector<std::uint64_t>& tt,
                   const std::vector<Lit>& inputs);
 
+/// Structural dead-node elimination ("sweep"): returns a copy of `src`
+/// holding only the ANDs reachable from its outputs. All inputs survive
+/// in order (the interface is part of the circuit's identity, used or
+/// not), outputs keep order, names and polarities, and live ANDs are
+/// copied verbatim without re-strashing — the result is functionally
+/// identical and lint-clean of AIG-DANGLING findings. Speculative
+/// construction (mux/xor expansions partially folded by strash) is the
+/// usual source of the dead nodes this removes.
+Aig sweep_dead(const Aig& src);
+
 }  // namespace step::aig

@@ -1,0 +1,320 @@
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace step::analysis {
+
+namespace {
+
+constexpr int kPerCodeCap = 20;
+
+/// Same per-code capping discipline as the AIGER linter (duplicated
+/// locally to keep the two translation units free-standing).
+class Buffer {
+ public:
+  explicit Buffer(LintReport& report) : report_(report) {}
+
+  void add(const char* code, Severity severity, std::string object,
+           std::string message, long line = 0) {
+    const int n = ++counts_[code];
+    if (n > kPerCodeCap) return;
+    report_.findings.push_back(
+        Finding{code, severity, std::move(object), std::move(message), line});
+  }
+
+  void flush_caps() {
+    for (const auto& [code, n] : counts_) {
+      if (n <= kPerCodeCap) continue;
+      report_.findings.push_back(Finding{
+          "LINT-CAPPED", Severity::kInfo, code,
+          std::to_string(n - kPerCodeCap) + " further " + code +
+              " findings suppressed (" + std::to_string(n) + " total)",
+          0});
+    }
+  }
+
+ private:
+  LintReport& report_;
+  std::map<std::string, int> counts_;
+};
+
+struct Token {
+  enum Kind { kNum, kBad, kEof } kind;
+  long long value = 0;
+  long line = 1;
+};
+
+/// Whitespace-separated token stream over the DIMACS body, tracking line
+/// numbers and skipping `c` comment lines.
+class TokenStream {
+ public:
+  explicit TokenStream(std::string_view text) : text_(text) {}
+
+  Token next() {
+    for (;;) {
+      skip_space();
+      if (pos_ >= text_.size()) return {Token::kEof, 0, line_};
+      if (text_[pos_] == 'c' && at_line_start_token()) {
+        skip_line();
+        continue;
+      }
+      break;
+    }
+    const long tok_line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      return {Token::kBad, 0, tok_line};
+    }
+    return {Token::kNum, v, tok_line};
+  }
+
+  /// Peeks whether the next token starts a `p` problem line; consumes the
+  /// whole line and returns its fields when it does.
+  bool problem_line(std::string& fmt, long long& vars, long long& clauses,
+                    long& line) {
+    skip_space();
+    while (pos_ < text_.size() && text_[pos_] == 'c' && at_line_start_token()) {
+      skip_line();
+      skip_space();
+    }
+    if (pos_ >= text_.size() || text_[pos_] != 'p') return false;
+    line = line_;
+    const std::size_t eol = text_.find('\n', pos_);
+    const std::string_view l =
+        text_.substr(pos_, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos_);
+    pos_ = eol == std::string_view::npos ? text_.size() : eol + 1;
+    ++line_;
+    // "p cnf <vars> <clauses>"
+    char f[16] = {0};
+    long long v = -1, c = -1;
+    const std::string owned(l);
+    if (std::sscanf(owned.c_str(), "p %15s %lld %lld", f, &v, &c) < 1) {
+      fmt.clear();
+      return true;  // a 'p' line existed, but was unusable
+    }
+    fmt = f;
+    vars = v;
+    clauses = c;
+    return true;
+  }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  }
+  bool at_line_start_token() const {
+    // A comment marker only counts at the start of a line (DIMACS defines
+    // comments as whole lines).
+    return pos_ == 0 || text_[pos_ - 1] == '\n' ||
+           (pos_ >= 2 && text_[pos_ - 1] == '\r' && text_[pos_ - 2] == '\n');
+  }
+  void skip_space() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void skip_line() {
+    const std::size_t eol = text_.find('\n', pos_);
+    pos_ = eol == std::string_view::npos ? text_.size() : eol + 1;
+    ++line_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  long line_ = 1;
+};
+
+}  // namespace
+
+LintReport lint_cnf(std::string_view text) {
+  LintReport report;
+  report.path = "<memory>";
+  report.kind = "cnf";
+  Buffer fb(report);
+
+  TokenStream ts(text);
+  long long declared_vars = -1, declared_clauses = -1;
+  {
+    std::string fmt;
+    long long v = 0, c = 0;
+    long pline = 0;
+    if (ts.problem_line(fmt, v, c, pline)) {
+      if (fmt != "cnf" || v < 0 || c < 0) {
+        fb.add("CNF-HEADER", Severity::kWarning, "header",
+               "problem line is not a well-formed 'p cnf <vars> <clauses>'",
+               pline);
+      } else {
+        declared_vars = v;
+        declared_clauses = c;
+      }
+    } else {
+      fb.add("CNF-HEADER", Severity::kWarning, "header",
+             "no 'p cnf' problem line (tolerated, but declared bounds "
+             "cannot be checked)",
+             1);
+    }
+  }
+
+  // Clause scan. Statistics for the whole-formula summary findings.
+  long long n_clauses = 0;
+  long long max_var = 0;
+  std::vector<std::uint8_t> polarity;  // bit0: seen positive, bit1: negative
+  std::vector<std::uint8_t> used;
+  auto touch = [&](long long var, bool neg) {
+    const auto v = static_cast<std::size_t>(var);
+    if (polarity.size() <= v) {
+      polarity.resize(v + 1, 0);
+      used.resize(v + 1, 0);
+    }
+    polarity[v] |= neg ? 2 : 1;
+    used[v] = 1;
+  };
+
+  std::unordered_set<std::string> clause_set;
+  std::vector<long long> clause;
+  std::set<long long> clause_lits;
+  bool open_clause = false;
+  long clause_line = 1;
+
+  auto finish_clause = [&](long end_line) {
+    ++n_clauses;
+    const std::string obj = "clause " + std::to_string(n_clauses);
+    if (clause.empty()) {
+      fb.add("CNF-EMPTY-CLAUSE", Severity::kError, obj,
+             "empty clause: the formula is trivially unsatisfiable",
+             end_line);
+      return;
+    }
+    bool taut = false, dup_lit = false;
+    for (const long long lit : clause_lits) {
+      if (lit > 0 && clause_lits.count(-lit) != 0) taut = true;
+    }
+    if (clause_lits.size() != clause.size()) dup_lit = true;
+    if (taut) {
+      fb.add("CNF-TAUT", Severity::kWarning, obj,
+             "tautological clause (contains a literal and its negation)",
+             clause_line);
+    }
+    if (dup_lit) {
+      fb.add("CNF-DUP-LIT", Severity::kInfo, obj,
+             "clause repeats a literal", clause_line);
+    }
+    // Canonical key: sorted, deduplicated literal set.
+    std::string key;
+    for (const long long lit : clause_lits) {
+      key += std::to_string(lit);
+      key += ' ';
+    }
+    if (!clause_set.insert(key).second) {
+      fb.add("CNF-DUP-CLAUSE", Severity::kWarning, obj,
+             "duplicate of an earlier clause (same literal set)",
+             clause_line);
+    }
+  };
+
+  for (;;) {
+    const Token t = ts.next();
+    if (t.kind == Token::kEof) break;
+    if (t.kind == Token::kBad) {
+      fb.add("CNF-PARSE", Severity::kError, "token",
+             "non-numeric token in the clause section", t.line);
+      continue;
+    }
+    if (t.value == 0) {
+      finish_clause(t.line);
+      clause.clear();
+      clause_lits.clear();
+      open_clause = false;
+      continue;
+    }
+    if (!open_clause) {
+      open_clause = true;
+      clause_line = t.line;
+    }
+    const long long var = t.value > 0 ? t.value : -t.value;
+    max_var = std::max(max_var, var);
+    if (declared_vars >= 0 && var > declared_vars) {
+      fb.add("CNF-RANGE", Severity::kError,
+             "clause " + std::to_string(n_clauses + 1),
+             "literal " + std::to_string(t.value) +
+                 " exceeds the declared variable count " +
+                 std::to_string(declared_vars),
+             t.line);
+    }
+    touch(var, t.value < 0);
+    clause.push_back(t.value);
+    clause_lits.insert(t.value);
+  }
+  if (open_clause) {
+    fb.add("CNF-PARSE", Severity::kError,
+           "clause " + std::to_string(n_clauses + 1),
+           "file ends inside a clause (missing terminating 0)", 0);
+    finish_clause(0);
+  }
+
+  if (declared_clauses >= 0 && n_clauses != declared_clauses) {
+    fb.add("CNF-HEADER", Severity::kWarning, "header",
+           "header declares " + std::to_string(declared_clauses) +
+               " clause(s) but the body holds " + std::to_string(n_clauses),
+           0);
+  }
+
+  // Whole-formula summaries: variable-numbering gaps and pure literals are
+  // properties of the complete formula, so each yields one finding with
+  // representatives rather than one finding per variable.
+  {
+    const long long bound =
+        declared_vars >= 0 ? std::max(declared_vars, max_var) : max_var;
+    std::vector<long long> gaps, pures;
+    for (long long v = 1; v <= bound; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      const std::uint8_t pol = idx < polarity.size() ? polarity[idx] : 0;
+      if (pol == 0) {
+        gaps.push_back(v);
+      } else if (pol != 3) {
+        pures.push_back(v);
+      }
+    }
+    auto sample = [](const std::vector<long long>& vs) {
+      std::string s;
+      for (std::size_t i = 0; i < vs.size() && i < 8; ++i) {
+        if (i != 0) s += ", ";
+        s += std::to_string(vs[i]);
+      }
+      if (vs.size() > 8) s += ", ...";
+      return s;
+    };
+    if (!gaps.empty()) {
+      fb.add("CNF-VAR-GAP", Severity::kWarning, "variables",
+             std::to_string(gaps.size()) +
+                 " variable(s) in 1..=" + std::to_string(bound) +
+                 " never occur (numbering gap): " + sample(gaps),
+             0);
+    }
+    if (!pures.empty()) {
+      fb.add("CNF-PURE-LIT", Severity::kInfo, "variables",
+             std::to_string(pures.size()) +
+                 " variable(s) occur in one polarity only: " + sample(pures),
+             0);
+    }
+  }
+
+  fb.flush_caps();
+  return report;
+}
+
+}  // namespace step::analysis

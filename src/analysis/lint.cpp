@@ -1,0 +1,122 @@
+#include "analysis/lint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/io_error.h"
+
+namespace step::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+int count_of(const LintReport& r, Severity s) {
+  int n = 0;
+  for (const Finding& f : r.findings) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int LintReport::errors() const { return count_of(*this, Severity::kError); }
+int LintReport::warnings() const {
+  return count_of(*this, Severity::kWarning);
+}
+int LintReport::infos() const { return count_of(*this, Severity::kInfo); }
+
+bool LintReport::has(std::string_view code) const {
+  for (const Finding& f : findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+std::string to_json(const LintReport& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"path\": \"" << json_escape(r.path) << "\",\n";
+  os << "  \"kind\": \"" << r.kind << "\",\n";
+  os << "  \"summary\": {\"errors\": " << r.errors()
+     << ", \"warnings\": " << r.warnings() << ", \"infos\": " << r.infos()
+     << ", \"ok\": " << (r.ok() ? "true" : "false") << "},\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"code\": \"" << json_escape(f.code) << "\", \"severity\": \""
+       << to_string(f.severity) << "\", \"object\": \""
+       << json_escape(f.object) << "\", \"line\": " << f.line
+       << ", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  os << (r.findings.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+LintReport lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw io::IoError("cannot open '" + path + "' for linting", path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw io::IoError("read failure on '" + path + "'", path);
+  const std::string bytes = buf.str();
+
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  };
+  LintReport report;
+  if (ends_with(".cnf") || ends_with(".dimacs")) {
+    report = lint_cnf(bytes);
+  } else if (ends_with(".aag") || ends_with(".aig")) {
+    report = lint_aiger(bytes);
+  } else if (bytes.rfind("aag ", 0) == 0 || bytes.rfind("aig ", 0) == 0) {
+    report = lint_aiger(bytes);
+  } else {
+    // Last resort: anything else is treated as DIMACS (which tolerates a
+    // missing header), so `step lint` never silently skips a file.
+    report = lint_cnf(bytes);
+  }
+  report.path = path;
+  return report;
+}
+
+}  // namespace step::analysis

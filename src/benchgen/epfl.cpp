@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "aig/ops.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -87,7 +88,9 @@ Aig epfl_adder(int bits) {
     a.add_output(sum[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
   }
   a.add_output(carry, "cout");
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 Aig epfl_multiplier(int bits) {
@@ -127,7 +130,9 @@ Aig epfl_multiplier(int bits) {
   for (std::size_t i = 0; i < 2 * n; ++i) {
     a.add_output(rows[0][i], "p" + std::to_string(i));
   }
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 Aig epfl_barrel_shifter(int width) {
@@ -156,7 +161,9 @@ Aig epfl_barrel_shifter(int width) {
   for (int i = 0; i < width; ++i) {
     a.add_output(cur[static_cast<std::size_t>(i)], "q" + std::to_string(i));
   }
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 Aig epfl_mux(int sel_bits) {
@@ -178,7 +185,9 @@ Aig epfl_mux(int sel_bits) {
     cur = std::move(next);
   }
   a.add_output(cur[0], "out");
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 Aig epfl_decoder(int addr_bits) {
@@ -201,7 +210,9 @@ Aig epfl_decoder(int addr_bits) {
     }
     a.add_output(term, "y" + std::to_string(o));
   }
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 Aig giant_cone_suite(int giant_support, int n_small, int small_support,
@@ -252,7 +263,9 @@ Aig giant_cone_suite(int giant_support, int n_small, int small_support,
                               a.land(parts[0], parts[2])),
                         a.land(parts[1], parts[2]));
   a.add_output(maj, "giant");
-  return a;
+  // Emit dangling-free (see sweep_dead): the lint invariant over every
+  // generator output depends on it.
+  return aig::sweep_dead(a);
 }
 
 std::vector<LargeCircuit> large_suite(std::uint64_t target_gates) {

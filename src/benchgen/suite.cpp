@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "aig/ops.h"
 #include "benchgen/generators.h"
 
 namespace step::benchgen {
@@ -112,12 +113,18 @@ std::vector<BenchCircuit> full_suite() {
 }  // namespace
 
 std::vector<BenchCircuit> standard_suite(SuiteScale scale) {
+  std::vector<BenchCircuit> s;
   switch (scale) {
-    case SuiteScale::kTiny: return tiny_suite();
-    case SuiteScale::kSmall: return small_suite();
-    case SuiteScale::kFull: return full_suite();
+    case SuiteScale::kTiny: s = tiny_suite(); break;
+    case SuiteScale::kSmall: s = small_suite(); break;
+    case SuiteScale::kFull: s = full_suite(); break;
   }
-  return small_suite();
+  // Lint invariant: suite circuits carry no dead nodes. The generators
+  // build speculatively (mux/xor expansions strash-folded later), so a
+  // final sweep keeps every emitted benchmark AIG-DANGLING-clean — see
+  // tests/lint_test.cpp (LintBenchgen).
+  for (BenchCircuit& b : s) b.aig = aig::sweep_dead(b.aig);
+  return s;
 }
 
 SuiteScale scale_from_env() {

@@ -1,8 +1,8 @@
 #include "common/race.h"
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace step {
 
@@ -12,23 +12,26 @@ void RaceScheduler::run_all(std::vector<std::function<void()>>& entries) {
   // Per-call latch: races from different PO workers interleave on the
   // helper pool, so wait_idle() (pool-global) would over-wait.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t pending = 0;
+    Mutex mu;
+    CondVar cv;
+    std::size_t pending STEP_GUARDED_BY(mu) = 0;
   } latch;
-  latch.pending = entries.size() - 1;
+  {
+    MutexLock lk(latch.mu);
+    latch.pending = entries.size() - 1;
+  }
 
   for (std::size_t i = 1; i < entries.size(); ++i) {
     pool_.submit([&latch, entry = std::move(entries[i])] {
       entry();
-      std::lock_guard<std::mutex> lk(latch.mu);
+      MutexLock lk(latch.mu);
       if (--latch.pending == 0) latch.cv.notify_all();
     });
   }
   entries[0]();
 
-  std::unique_lock<std::mutex> lk(latch.mu);
-  latch.cv.wait(lk, [&latch] { return latch.pending == 0; });
+  MutexLock lk(latch.mu);
+  while (latch.pending != 0) latch.cv.wait(latch.mu);
 }
 
 }  // namespace step

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -54,14 +54,14 @@ void ThreadPool::submit(std::function<void()> job) {
                       queues_.size();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    MutexLock lock(queues_[q]->mu);
     queues_[q]->jobs.push_back(std::move(job));
   }
   {
     // queued_ must change under wake_mu_: a worker that just evaluated the
     // wait predicate false still holds the mutex, so without this lock the
     // notify below could fire before it blocks and be lost for good.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     queued_.fetch_add(1, std::memory_order_release);
   }
   wake_cv_.notify_one();
@@ -71,7 +71,7 @@ bool ThreadPool::try_acquire(int id, std::function<void()>& out) {
   // Own queue first, newest job (LIFO)...
   {
     WorkerQueue& own = *queues_[id];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.jobs.empty()) {
       out = std::move(own.jobs.back());
       own.jobs.pop_back();
@@ -83,7 +83,7 @@ bool ThreadPool::try_acquire(int id, std::function<void()>& out) {
   const int n = static_cast<int>(queues_.size());
   for (int k = 1; k < n; ++k) {
     WorkerQueue& victim = *queues_[(id + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.jobs.empty()) {
       out = std::move(victim.jobs.front());
       victim.jobs.pop_front();
@@ -98,7 +98,7 @@ void ThreadPool::run_job(std::function<void()>& job) {
   job();
   job = nullptr;  // release captures before signalling completion
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     idle_cv_.notify_all();
   }
 }
@@ -112,19 +112,21 @@ void ThreadPool::worker_main(int id) {
       run_job(job);
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
+    // Hand-rolled predicate loop (see CondVar): sleep until a job is
+    // queued or shutdown begins; return only once stopped *and* drained.
+    while (!stop_ && queued_.load(std::memory_order_acquire) == 0) {
+      wake_cv_.wait(wake_mu_);
+    }
     if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
-    wake_cv_.wait(lock, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  idle_cv_.wait(lock, [this] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(wake_mu_);
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.wait(wake_mu_);
+  }
 }
 
 }  // namespace step

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace step {
 
@@ -47,8 +47,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> jobs;
+    Mutex mu;
+    std::deque<std::function<void()>> jobs STEP_GUARDED_BY(mu);
   };
 
   void worker_main(int id);
@@ -58,14 +58,18 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;  ///< signals workers: job queued / stop
-  std::condition_variable idle_cv_;  ///< signals wait_idle(): all jobs done
+  Mutex wake_mu_;
+  CondVar wake_cv_;  ///< signals workers: job queued / stop
+  CondVar idle_cv_;  ///< signals wait_idle(): all jobs done
 
+  // queued_/in_flight_ stay atomics (not GUARDED_BY): they are read
+  // outside wake_mu_ on the fast acquire path; the wake protocol only
+  // requires that *changes* to queued_ happen under wake_mu_ (see
+  // submit()).
   std::atomic<int> queued_{0};    ///< jobs sitting in some deque
   std::atomic<int> in_flight_{0};  ///< submitted, not yet completed
   std::atomic<unsigned> next_queue_{0};
-  bool stop_ = false;  ///< guarded by wake_mu_
+  bool stop_ STEP_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace step

@@ -170,7 +170,7 @@ std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
     k.canon_to_fn = canon.transform;
     if (key != nullptr) *key = k;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.lookups;
     const auto it = npn_map_.find(TtKey{n, k.canon_tt});
     if (it == npn_map_.end()) {
@@ -189,7 +189,7 @@ std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
   // Copy the collision candidates out so the SAT checks run unlocked.
   std::vector<SigEntry> candidates;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.lookups;
     const auto it = sig_map_.find(k.signature);
     if (it != sig_map_.end()) candidates = it->second;
@@ -241,7 +241,7 @@ std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
           ++refutes;
           return false;
         });
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.sat_refutes += refutes;
     if (!confirmed.empty()) {
       ++stats_.sat_confirms;
@@ -251,13 +251,13 @@ std::optional<DecCacheHit> DecCache::lookup(const Cone& cone,
       return DecCacheHit{e.tree, std::move(map)};
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.misses;
   return std::nullopt;
 }
 
 void DecCache::set_mem_tracker(MemTracker* tracker) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (mem_tracker_ != nullptr && charged_bytes_ > 0) {
     mem_tracker_->release(charged_bytes_);
     charged_bytes_ = 0;
@@ -268,7 +268,7 @@ void DecCache::set_mem_tracker(MemTracker* tracker) {
 void DecCache::insert(const Cone& cone, const DecCacheKey& key, DecTree tree) {
   STEP_CHECK(key.n == cone.n());
   auto shared = std::make_shared<const DecTree>(std::move(tree));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.insertions;
   if (mem_tracker_ != nullptr) {
     // Entry-size estimate: the tree nodes plus the key material (exact
@@ -295,19 +295,19 @@ void DecCache::insert(const Cone& cone, const DecCacheKey& key, DecTree tree) {
 }
 
 DecCacheStats DecCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t DecCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = npn_map_.size();
   for (const auto& [sig, entries] : sig_map_) n += entries.size();
   return n;
 }
 
 void DecCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   npn_map_.clear();
   sig_map_.clear();
   stats_ = DecCacheStats{};

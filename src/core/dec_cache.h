@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/resource.h"
+#include "common/thread_annotations.h"
 #include "core/dec_tree.h"
 #include "core/npn.h"
 
@@ -137,13 +137,19 @@ class DecCache {
   std::uint64_t signature_of(const Cone& cone,
                              const std::vector<std::uint64_t>& sigs) const;
 
+  /// Negative-compile harness (tests/negative/thread_safety_negative.cpp):
+  /// proves that an unguarded access to a STEP_GUARDED_BY field below
+  /// fails the clang thread-safety build, so the annotations cannot rot.
+  friend struct DecCacheTsaProbe;
+
   DecCacheOptions opts_;
-  mutable std::mutex mu_;
-  std::unordered_map<TtKey, NpnEntry, TtKeyHash> npn_map_;
-  std::unordered_map<std::uint64_t, std::vector<SigEntry>> sig_map_;
-  DecCacheStats stats_;
-  MemTracker* mem_tracker_ = nullptr;  ///< guarded by mu_
-  std::size_t charged_bytes_ = 0;      ///< guarded by mu_
+  mutable Mutex mu_;
+  std::unordered_map<TtKey, NpnEntry, TtKeyHash> npn_map_ STEP_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::vector<SigEntry>> sig_map_
+      STEP_GUARDED_BY(mu_);
+  DecCacheStats stats_ STEP_GUARDED_BY(mu_);
+  MemTracker* mem_tracker_ STEP_GUARDED_BY(mu_) = nullptr;
+  std::size_t charged_bytes_ STEP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace step::core

@@ -4,11 +4,11 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 
 #include "aig/simulate.h"
 #include "common/race.h"
+#include "common/thread_annotations.h"
 
 namespace step::core {
 
@@ -138,9 +138,19 @@ PortfolioOutcome decompose_portfolio(const Cone& cone,
   SharedCountermodelPool pool;
 
   std::atomic<bool> race_done{false};
-  std::mutex mu;
-  std::vector<SearchStrand> strands(plan.size());
-  int winner = -1;  // guarded by mu
+  // Shared race state: every racer publishes its strand and bids for the
+  // win under `mu`; the post-race reads below re-take it so the guarded
+  // fields are provably never touched unlocked (run_all is a barrier, but
+  // the analysis holds every access to the same proof).
+  struct RaceState {
+    Mutex mu;
+    std::vector<SearchStrand> strands STEP_GUARDED_BY(mu);
+    int winner STEP_GUARDED_BY(mu) = -1;
+  } race;
+  {
+    MutexLock lk(race.mu);
+    race.strands.resize(plan.size());
+  }
 
   std::vector<std::function<void()>> racers;
   racers.reserve(plan.size());
@@ -153,16 +163,19 @@ PortfolioOutcome decompose_portfolio(const Cone& cone,
       ropts.engine = plan[i];
       ropts.qbf.shared_pool = &pool;
       SearchStrand s = run_search_strand(matrix, plan[i], ropts, &d);
-      std::lock_guard<std::mutex> lk(mu);
+      MutexLock lk(race.mu);
       const bool conclusive = s.status != DecomposeStatus::kUnknown;
-      strands[i] = std::move(s);
-      if (conclusive && winner < 0) {
-        winner = static_cast<int>(i);
+      race.strands[i] = std::move(s);
+      if (conclusive && race.winner < 0) {
+        race.winner = static_cast<int>(i);
         race_done.store(true, std::memory_order_relaxed);
       }
     });
   }
   sched->run_all(racers);
+  MutexLock lk(race.mu);
+  std::vector<SearchStrand>& strands = race.strands;
+  const int winner = race.winner;
 
   out.raced = true;
   out.race_width = static_cast<int>(plan.size());

@@ -7,7 +7,7 @@
 namespace step::core {
 
 bool SharedCountermodelPool::publish(const std::vector<sat::Lbool>& cm) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (!keys_.insert(sat::lbool_key(cm)).second) return false;
   cms_.push_back(cm);
   return true;
@@ -15,14 +15,14 @@ bool SharedCountermodelPool::publish(const std::vector<sat::Lbool>& cm) {
 
 std::size_t SharedCountermodelPool::fetch_new(
     std::size_t* cursor, std::vector<std::vector<sat::Lbool>>* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const std::size_t added = cms_.size() - *cursor;
   for (; *cursor < cms_.size(); ++*cursor) out->push_back(cms_[*cursor]);
   return added;
 }
 
 std::size_t SharedCountermodelPool::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return cms_.size();
 }
 

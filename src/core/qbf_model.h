@@ -3,12 +3,12 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "cnf/cardinality.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/partition_check.h"
 #include "core/relaxation.h"
@@ -77,9 +77,9 @@ class SharedCountermodelPool {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<sat::Lbool>> cms_;
-  std::unordered_set<std::string> keys_;
+  mutable Mutex mu_;
+  std::vector<std::vector<sat::Lbool>> cms_ STEP_GUARDED_BY(mu_);
+  std::unordered_set<std::string> keys_ STEP_GUARDED_BY(mu_);
 };
 
 /// Decides, via the 2QBF formulation (9), whether a non-trivial valid

@@ -1,0 +1,29 @@
+// Negative-compile probe: MUST NOT COMPILE under Clang with
+// -Werror=thread-safety. cmake/thread_safety_check.cmake builds this file
+// and asserts failure (CTest WILL_FAIL), proving the STEP_GUARDED_BY
+// annotations on core::DecCache are enforced rather than decorative.
+//
+// DecCache befriends DecCacheTsaProbe exactly so this file can name a
+// private guarded field; the friendship grants access, the thread-safety
+// analysis still (correctly) rejects the lock-free read.
+
+#include <cstddef>
+
+#include "core/dec_cache.h"
+
+namespace step::core {
+
+struct DecCacheTsaProbe {
+  static std::size_t unguarded_read(const DecCache& cache) {
+    // Reading a STEP_GUARDED_BY(mu_) container without holding mu_:
+    // clang must reject this line with -Werror=thread-safety.
+    return cache.npn_map_.size();
+  }
+};
+
+}  // namespace step::core
+
+int main() {
+  step::core::DecCache cache;
+  return static_cast<int>(step::core::DecCacheTsaProbe::unguarded_read(cache));
+}

@@ -5,6 +5,7 @@
 //   step decompose <circuit.blif> [options]   per-PO bi-decomposition report
 //   step resynth   <circuit.blif> [options]   recursive resynthesis -> BLIF
 //   step stats     <circuit.blif>             circuit statistics
+//   step lint      <file...> [--json]         static artifact analysis
 //
 // Run `step --help` (or see README.md § Command-line reference) for the
 // complete flag list; the two are kept in sync by tests/cli_reference_test.
@@ -14,9 +15,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/lint.h"
 #include "common/fault.h"
 #include "common/resource.h"
 #include "core/circuit_driver.h"
@@ -77,6 +81,9 @@ constexpr const char kHelpText[] =
     "  decompose   per-PO bi-decomposition report (one split per output)\n"
     "  resynth     recursive resynthesis into a two-input-gate BLIF netlist\n"
     "  stats       circuit statistics (PO supports, decomposable candidates)\n"
+    "  lint        static artifact analysis: structural checks on AIGER\n"
+    "              netlists (ASCII and binary) and DIMACS CNF, without\n"
+    "              running any solver\n"
     "\n"
     "input formats (picked by extension): .blif, .aag (ASCII AIGER) and\n"
     ".aig (binary AIGER, streamed — suitable for million-gate netlists);\n"
@@ -179,6 +186,17 @@ constexpr const char kHelpText[] =
     "  --inject-faults           read the fault plan from the STEP_FAULTS\n"
     "                            environment variable (same format)\n"
     "\n"
+    "lint options (step lint <file> [file...]; see docs/ARCHITECTURE.md\n"
+    "§ Static analysis & concurrency contracts for the finding-code\n"
+    "catalogue):\n"
+    "  --json                    emit one machine-readable JSON array of\n"
+    "                            per-file reports instead of text\n"
+    "  -o <out>                  write the lint report to a file\n"
+    "                            (default stdout)\n"
+    "  file kinds by extension: .aag/.aig AIGER, .cnf/.dimacs DIMACS CNF;\n"
+    "  anything else is sniffed by content. Exit 0 when no error-severity\n"
+    "  finding exists (warnings and infos never fail a run), 1 otherwise.\n"
+    "\n"
     "reporting options:\n"
     "  --stats                   print aggregated solver-cost counters\n"
     "                            (SAT/QBF calls, CEGAR iterations, conflicts,\n"
@@ -192,7 +210,8 @@ constexpr const char kHelpText[] =
     "\n"
     "exit codes:\n"
     "  0    success\n"
-    "  1    failure (verification mismatch, internal error)\n"
+    "  1    failure (verification mismatch, internal error, or\n"
+    "       error-severity lint findings)\n"
     "  2    usage error\n"
     "  3    I/O error (missing, truncated, or malformed input file)\n"
     "  130  interrupted (SIGINT) — the partial report is flushed first\n";
@@ -680,9 +699,86 @@ int cmd_resynth(const CliOptions& cli, const io::Network& net,
   return cli.verify && !r.all_verified ? 1 : 0;
 }
 
+// ----------------------------------------------------------------- lint
+
+/// `step lint <file...> [--json] [-o out]`: runs the static artifact
+/// analyzer over each file. Text mode prints one line per finding plus a
+/// per-file summary; --json emits a JSON array of per-file reports. Exits
+/// 0 when no error-severity finding exists anywhere, 1 otherwise;
+/// unreadable files throw io::IoError (exit 3) like every other command.
+int cmd_lint(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json = true;
+    } else if (flag == "-o") {
+      if (i + 1 >= argc) usage();
+      out_path = argv[++i];
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "step lint: unknown option '%s'\n", flag.c_str());
+      usage();
+    } else {
+      files.push_back(flag);
+    }
+  }
+  if (files.empty()) usage();
+
+  std::string out;
+  bool any_error = false;
+  if (json) out += "[";
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const analysis::LintReport report = analysis::lint_file(files[i]);
+    any_error = any_error || !report.ok();
+    if (json) {
+      out += i == 0 ? "\n" : ",\n";
+      out += analysis::to_json(report);
+      if (!out.empty() && out.back() == '\n') out.pop_back();
+    } else {
+      for (const analysis::Finding& f : report.findings) {
+        out += report.path + ": " + analysis::to_string(f.severity) + " [" +
+               f.code + "] " + f.object;
+        if (f.line > 0) out += " (line " + std::to_string(f.line) + ")";
+        out += ": " + f.message + "\n";
+      }
+      out += report.path + ": " + std::to_string(report.errors()) +
+             " error(s), " + std::to_string(report.warnings()) +
+             " warning(s), " + std::to_string(report.infos()) + " info(s)\n";
+    }
+  }
+  if (json) out += "\n]\n";
+
+  if (out_path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::ofstream f(out_path, std::ios::binary);
+    f << out;
+    if (!f.good()) {
+      throw io::IoError("cannot write lint report to '" + out_path + "'",
+                        out_path);
+    }
+  }
+  return any_error ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
+  // `lint` takes a file list and its own tiny flag set, so it dispatches
+  // before the decomposition-option parser (which assumes one input and
+  // would reject --json). `step lint --help` still reaches usage(0) via
+  // the scan in parse_args.
+  if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
+    bool help = false;
+    for (int i = 2; i < argc; ++i) {
+      help = help || std::strcmp(argv[i], "--help") == 0 ||
+             std::strcmp(argv[i], "-h") == 0;
+    }
+    if (help) usage(0);
+    return cmd_lint(argc, argv);
+  }
   const CliOptions cli = parse_args(argc, argv);
   // Graceful SIGINT: the handler only sets a flag the drivers poll, so an
   // interrupted run flushes its partial report (unfinished POs typed as
