@@ -266,7 +266,9 @@ bool scan_binary(std::string_view bytes, RawAig& raw, FindingBuffer& fb) {
     int shift = 0;
     while (pos < bytes.size()) {
       const std::uint8_t b = static_cast<std::uint8_t>(bytes[pos++]);
-      if (shift >= 63 && (b & 0x7f) > 1) return false;  // overflow
+      // At shift 63 only bit 63 is left; past 63 the shift itself would be
+      // UB, so reject over-long varints even when their payload bits are 0.
+      if (shift > 63 || (shift == 63 && (b & 0x7f) > 1)) return false;
       out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) return true;
       shift += 7;
@@ -366,7 +368,11 @@ void semantic_checks(const RawAig& raw, bool complete, FindingBuffer& fb) {
   for (const RawAig::And& a : raw.ands) {
     define(a.lhs, Def::kAnd, "AND", "and " + std::to_string(a.lhs >> 1),
            a.line);
-    if (def[var_of(a.lhs)] == Def::kAnd) and_of[var_of(a.lhs)] = &a;
+    // Only index ANDs whose lhs `define()` actually accepted: an odd or
+    // out-of-range lhs returns early above, so def[] must not be read for
+    // it (v > m would be past the end of the table).
+    const std::uint64_t v = var_of(a.lhs);
+    if ((a.lhs & 1) == 0 && v <= m && def[v] == Def::kAnd) and_of[v] = &a;
     for (const std::uint64_t rhs : {a.rhs0, a.rhs1}) {
       if (var_of(rhs) > m) {
         fb.add("AIG-LIT-RANGE", Severity::kError,

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -73,8 +75,12 @@ class TokenStream {
     while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
     const std::string tok(text_.substr(start, pos_ - start));
     char* end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(tok.c_str(), &end, 10);
-    if (end == tok.c_str() || *end != '\0') {
+    // ERANGE catches silent clamping to LLONG_MAX/LLONG_MIN; an exact
+    // LLONG_MIN parses cleanly but cannot be negated, so reject it too.
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+        v == LLONG_MIN) {
       return {Token::kBad, 0, tok_line};
     }
     return {Token::kNum, v, tok_line};
@@ -146,6 +152,16 @@ LintReport lint_cnf(std::string_view text) {
   report.kind = "cnf";
   Buffer fb(report);
 
+  // Plausibility guard mirroring the AIGER linter: every variable needs
+  // bytes in the file to occur, so a hostile header or literal must not
+  // drive the summary sweep or the polarity table to unbounded sizes.
+  const unsigned long long plaus =
+      8ULL * static_cast<unsigned long long>(text.size()) + 1024ULL;
+  const long long var_cap =
+      plaus > static_cast<unsigned long long>(LLONG_MAX)
+          ? LLONG_MAX
+          : static_cast<long long>(plaus);
+
   TokenStream ts(text);
   long long declared_vars = -1, declared_clauses = -1;
   {
@@ -156,6 +172,12 @@ LintReport lint_cnf(std::string_view text) {
       if (fmt != "cnf" || v < 0 || c < 0) {
         fb.add("CNF-HEADER", Severity::kWarning, "header",
                "problem line is not a well-formed 'p cnf <vars> <clauses>'",
+               pline);
+      } else if (v > var_cap) {
+        fb.add("CNF-HEADER", Severity::kError, "header",
+               "declares " + std::to_string(v) +
+                   " variables, implausible for a " +
+                   std::to_string(text.size()) + "-byte file",
                pline);
       } else {
         declared_vars = v;
@@ -173,15 +195,12 @@ LintReport lint_cnf(std::string_view text) {
   long long n_clauses = 0;
   long long max_var = 0;
   std::vector<std::uint8_t> polarity;  // bit0: seen positive, bit1: negative
-  std::vector<std::uint8_t> used;
   auto touch = [&](long long var, bool neg) {
+    // Callers check var <= var_cap first, so this resize is bounded by the
+    // file size.
     const auto v = static_cast<std::size_t>(var);
-    if (polarity.size() <= v) {
-      polarity.resize(v + 1, 0);
-      used.resize(v + 1, 0);
-    }
+    if (polarity.size() <= v) polarity.resize(v + 1, 0);
     polarity[v] |= neg ? 2 : 1;
-    used[v] = 1;
   };
 
   std::unordered_set<std::string> clause_set;
@@ -231,7 +250,8 @@ LintReport lint_cnf(std::string_view text) {
     if (t.kind == Token::kEof) break;
     if (t.kind == Token::kBad) {
       fb.add("CNF-PARSE", Severity::kError, "token",
-             "non-numeric token in the clause section", t.line);
+             "non-numeric or out-of-range token in the clause section",
+             t.line);
       continue;
     }
     if (t.value == 0) {
@@ -246,16 +266,28 @@ LintReport lint_cnf(std::string_view text) {
       clause_line = t.line;
     }
     const long long var = t.value > 0 ? t.value : -t.value;
-    max_var = std::max(max_var, var);
-    if (declared_vars >= 0 && var > declared_vars) {
+    if (var > var_cap) {
+      // Keep the literal for the per-clause checks (per-token memory is
+      // bounded by the file size) but keep it out of the polarity table
+      // and the summary sweep bound.
       fb.add("CNF-RANGE", Severity::kError,
              "clause " + std::to_string(n_clauses + 1),
              "literal " + std::to_string(t.value) +
-                 " exceeds the declared variable count " +
-                 std::to_string(declared_vars),
+                 " has an implausible magnitude for a " +
+                 std::to_string(text.size()) + "-byte file",
              t.line);
+    } else {
+      max_var = std::max(max_var, var);
+      if (declared_vars >= 0 && var > declared_vars) {
+        fb.add("CNF-RANGE", Severity::kError,
+               "clause " + std::to_string(n_clauses + 1),
+               "literal " + std::to_string(t.value) +
+                   " exceeds the declared variable count " +
+                   std::to_string(declared_vars),
+               t.line);
+      }
+      touch(var, t.value < 0);
     }
-    touch(var, t.value < 0);
     clause.push_back(t.value);
     clause_lits.insert(t.value);
   }
@@ -277,38 +309,43 @@ LintReport lint_cnf(std::string_view text) {
   // properties of the complete formula, so each yields one finding with
   // representatives rather than one finding per variable.
   {
+    // `bound` is capped by the plausibility guard above, so this sweep is
+    // linear in the file size. Only an 8-element sample is kept per
+    // summary; counting avoids materializing every gap variable.
     const long long bound =
         declared_vars >= 0 ? std::max(declared_vars, max_var) : max_var;
-    std::vector<long long> gaps, pures;
+    long long n_gaps = 0, n_pures = 0;
+    std::vector<long long> gap_sample, pure_sample;
     for (long long v = 1; v <= bound; ++v) {
       const auto idx = static_cast<std::size_t>(v);
       const std::uint8_t pol = idx < polarity.size() ? polarity[idx] : 0;
       if (pol == 0) {
-        gaps.push_back(v);
+        if (++n_gaps <= 8) gap_sample.push_back(v);
       } else if (pol != 3) {
-        pures.push_back(v);
+        if (++n_pures <= 8) pure_sample.push_back(v);
       }
     }
-    auto sample = [](const std::vector<long long>& vs) {
+    auto sample = [](const std::vector<long long>& vs, long long total) {
       std::string s;
-      for (std::size_t i = 0; i < vs.size() && i < 8; ++i) {
+      for (std::size_t i = 0; i < vs.size(); ++i) {
         if (i != 0) s += ", ";
         s += std::to_string(vs[i]);
       }
-      if (vs.size() > 8) s += ", ...";
+      if (total > static_cast<long long>(vs.size())) s += ", ...";
       return s;
     };
-    if (!gaps.empty()) {
+    if (n_gaps > 0) {
       fb.add("CNF-VAR-GAP", Severity::kWarning, "variables",
-             std::to_string(gaps.size()) +
+             std::to_string(n_gaps) +
                  " variable(s) in 1..=" + std::to_string(bound) +
-                 " never occur (numbering gap): " + sample(gaps),
+                 " never occur (numbering gap): " + sample(gap_sample, n_gaps),
              0);
     }
-    if (!pures.empty()) {
+    if (n_pures > 0) {
       fb.add("CNF-PURE-LIT", Severity::kInfo, "variables",
-             std::to_string(pures.size()) +
-                 " variable(s) occur in one polarity only: " + sample(pures),
+             std::to_string(n_pures) + " variable(s) occur in one polarity "
+                                       "only: " +
+                 sample(pure_sample, n_pures),
              0);
     }
   }

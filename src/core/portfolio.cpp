@@ -173,9 +173,17 @@ PortfolioOutcome decompose_portfolio(const Cone& cone,
     });
   }
   sched->run_all(racers);
-  MutexLock lk(race.mu);
-  std::vector<SearchStrand>& strands = race.strands;
-  const int winner = race.winner;
+  // Move the race outcome out under a short-lived lock so the verification
+  // pipeline below runs unlocked: holding `mu` across it is harmless only
+  // while run_all stays a barrier, and the lock scope should not encode
+  // that assumption.
+  std::vector<SearchStrand> strands;
+  int winner = -1;
+  {
+    MutexLock lk(race.mu);
+    strands = std::move(race.strands);
+    winner = race.winner;
+  }
 
   out.raced = true;
   out.race_width = static_cast<int>(plan.size());

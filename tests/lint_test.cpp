@@ -117,6 +117,36 @@ TEST(LintCnf, ToleratesMissingHeader) {
   EXPECT_TRUE(r.ok());  // header absence is a warning
 }
 
+// ------------------------------------------------------ hostile-input cnf
+
+TEST(LintCnf, ImplausibleHeaderVarCountIsErrorNotSweep) {
+  // A 25-byte file declaring 1e14 variables must produce a bounded error,
+  // not a 1e14-iteration gap sweep (OOM/hang).
+  const LintReport r = lint_cnf("p cnf 100000000000000 0\n");
+  EXPECT_TRUE(r.has("CNF-HEADER"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.has("CNF-VAR-GAP"));  // implausible bound is not swept
+}
+
+TEST(LintCnf, ImplausibleLiteralMagnitudeIsErrorNotAllocation) {
+  // A single huge literal must not size the polarity table to terabytes.
+  const LintReport r = lint_cnf("1000000000000 0\n");
+  EXPECT_TRUE(r.has("CNF-RANGE"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.has("CNF-EMPTY-CLAUSE"));  // the clause still counts
+}
+
+TEST(LintCnf, OverflowingLiteralIsParseError) {
+  // strtoll clamps these to LLONG_MAX/LLONG_MIN; both must be rejected as
+  // parse errors, not treated as valid (or negation-UB) literals.
+  for (const char* body : {"p cnf 2 1\n99999999999999999999 1 0\n",
+                           "p cnf 2 1\n-9223372036854775808 1 0\n"}) {
+    const LintReport r = lint_cnf(body);
+    EXPECT_TRUE(r.has("CNF-PARSE")) << body;
+    EXPECT_FALSE(r.ok()) << body;
+  }
+}
+
 // ------------------------------------------------------------- aig checks
 
 TEST(LintAiger, AcceptsBinaryFormat) {
@@ -140,6 +170,34 @@ TEST(LintAiger, PerCodeFindingsAreCapped) {
   int dup = 0;
   for (const Finding& f : r.findings) dup += f.code == "AIG-DUP-AND" ? 1 : 0;
   EXPECT_EQ(dup, 20);
+}
+
+TEST(LintAiger, AndLhsBeyondMaxVarIsRangeErrorNotOob) {
+  // The AND's lhs variable (50) exceeds M (1): `define()` rejects it, and
+  // the cycle-index insertion must not read def[50] past the table end.
+  const LintReport r = lint_aiger("aag 1 0 0 0 1\n100 2 3\n");
+  EXPECT_TRUE(r.has("AIG-LIT-RANGE"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LintAiger, OddAndLhsDoesNotHijackCycleIndex) {
+  // The odd lhs 7 shares variable 3 with the legitimate AND `6 2 4`; it
+  // must get its own finding without overwriting var 3's entry in the
+  // cycle index (its self-referential fanins would fake an AIG-CYCLE).
+  const LintReport r = lint_aiger("aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n7 6 6\n");
+  EXPECT_TRUE(r.has("AIG-ODD-LHS"));
+  EXPECT_FALSE(r.has("AIG-CYCLE"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LintAiger, OverlongBinaryDeltaIsParseError) {
+  // Ten continuation bytes with zero payload push the varint shift past
+  // 63; the decoder must reject the encoding instead of shifting by >= 64.
+  const std::string bytes =
+      std::string("aig 1 0 0 0 1\n") + std::string(10, '\x80') + '\x01';
+  const LintReport r = lint_aiger(bytes);
+  EXPECT_TRUE(r.has("AIG-PARSE"));
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(LintAig, InMemoryLinterFlagsStrashViolations) {
